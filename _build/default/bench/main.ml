@@ -1,0 +1,107 @@
+(* Benchmark and reproduction harness.
+
+   Default: regenerate every table and figure of the paper's evaluation
+   (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record), then run the bechamel micro-benchmarks of
+   the protocol and analysis hot paths.
+
+     dune exec bench/main.exe                 # everything (10 seeds)
+     dune exec bench/main.exe -- --quick      # 3 seeds
+     dune exec bench/main.exe -- --micro      # micro-benchmarks only
+     dune exec bench/main.exe -- --no-micro   # experiments only *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one Test.make per hot path                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_config protocol n =
+  {
+    (Rdt_core.Runtime.default_config (Rdt_workloads.Registry.find_exn "random") protocol) with
+    Rdt_core.Runtime.n;
+    seed = 42;
+    max_messages = 300;
+  }
+
+let protocol_tests =
+  (* whole-run cost per protocol: 300 messages of random traffic *)
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun pname ->
+          let protocol = Rdt_core.Registry.find_exn pname in
+          Test.make
+            ~name:(Printf.sprintf "run/%s/n=%d" pname n)
+            (Staged.stage (fun () -> ignore (Rdt_core.Runtime.run (run_config protocol n)))))
+        [ "none"; "fdas"; "bhmr-v1"; "bhmr" ])
+    [ 8; 32 ]
+
+let analysis_tests =
+  let protocol = Rdt_core.Registry.find_exn "bhmr" in
+  let pattern = (Rdt_core.Runtime.run (run_config protocol 8)).Rdt_core.Runtime.pattern in
+  [
+    Test.make ~name:"analysis/rgraph-build"
+      (Staged.stage (fun () -> ignore (Rdt_pattern.Rgraph.build pattern)));
+    Test.make ~name:"analysis/rgraph-reach-all"
+      (Staged.stage (fun () ->
+           let g = Rdt_pattern.Rgraph.build pattern in
+           ignore (Rdt_pattern.Rgraph.reaches g (0, 0) (1, 1))));
+    Test.make ~name:"analysis/tdv-replay"
+      (Staged.stage (fun () -> ignore (Rdt_pattern.Tdv.compute pattern)));
+    Test.make ~name:"analysis/rdt-check"
+      (Staged.stage (fun () -> ignore (Rdt_core.Checker.check pattern)));
+    Test.make ~name:"analysis/min-gcp-fixpoint"
+      (Staged.stage (fun () -> ignore (Rdt_core.Min_gcp.minimum pattern (0, 1))));
+    Test.make ~name:"analysis/recovery-line"
+      (Staged.stage (fun () ->
+           let bounds =
+             Array.init (Rdt_pattern.Pattern.n pattern) (fun i ->
+                 Rdt_pattern.Pattern.last_index pattern i)
+           in
+           ignore (Rdt_recovery.Recovery_line.max_consistent_bounded pattern bounds)));
+  ]
+
+let run_micro () =
+  Format.printf "@.== MICRO: bechamel micro-benchmarks (ns per run) ==@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:true () in
+  let grouped = Test.make_grouped ~name:"rdt" ~fmt:"%s %s" (protocol_tests @ analysis_tests) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let table = Rdt_harness.Table.create ~header:[ "benchmark"; "time/run"; "r²" ] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      let pretty =
+        if Float.is_nan estimate then "-"
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      Rdt_harness.Table.add_row table
+        [ name; pretty; (if Float.is_nan r2 then "-" else Printf.sprintf "%.4f" r2) ])
+    (List.sort compare rows);
+  Rdt_harness.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let quick = has "--quick" in
+  let micro_only = has "--micro" in
+  let no_micro = has "--no-micro" in
+  if not micro_only then Rdt_harness.Experiments.run_all ~quick ();
+  if not no_micro then run_micro ();
+  Format.print_flush ()

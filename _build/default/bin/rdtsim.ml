@@ -1,0 +1,322 @@
+(* rdtsim — command-line driver for the RDT checkpointing library.
+
+   Subcommands:
+     run          simulate one (environment, protocol) pair and report
+     verify       run + full offline RDT verification (3 checkers)
+     experiments  reproduce the paper's figures and tables
+     recover      simulate crashes and compute the recovery line
+     snapshot     coordinated Chandy-Lamport snapshots over a workload
+     twophase     coordinated Koo-Toueg two-phase checkpointing
+     crashrun     inject online crashes and recover while the run continues
+     list         available protocols and environments *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match Rdt_core.Registry.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (try: %s)" s
+               (String.concat ", " (List.map Rdt_core.Protocol.name Rdt_core.Registry.all))))
+  in
+  let print ppf p = Format.pp_print_string ppf (Rdt_core.Protocol.name p) in
+  Arg.conv (parse, print)
+
+let env_conv =
+  let parse s =
+    match Rdt_workloads.Registry.find s with
+    | Some f -> Ok (s, f)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown environment %S (try: %s)" s
+               (String.concat ", " Rdt_workloads.Registry.names)))
+  in
+  let print ppf (name, _) = Format.pp_print_string ppf name in
+  Arg.conv (parse, print)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv (Rdt_core.Registry.find_exn "bhmr")
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc:"Checkpointing protocol.")
+
+let env_arg =
+  Arg.(
+    value
+    & opt env_conv ("random", fun () -> Rdt_workloads.Registry.find_exn "random")
+    & info [ "e"; "env" ] ~docv:"ENV" ~doc:"Workload environment.")
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n"; "processes" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let messages_arg =
+  Arg.(
+    value & opt int 2000 & info [ "m"; "messages" ] ~docv:"M" ~doc:"Application message budget.")
+
+let config env protocol n seed messages =
+  {
+    (Rdt_core.Runtime.default_config ((fun (_, f) -> f ()) env) protocol) with
+    Rdt_core.Runtime.n;
+    seed;
+    max_messages = messages;
+  }
+
+let print_metrics (r : Rdt_core.Runtime.result) =
+  Format.printf "%a@." Rdt_core.Metrics.pp r.metrics;
+  Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
+  if r.predicate_counts <> [] then
+    Format.printf "predicates fired: %s@."
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) r.predicate_counts))
+
+let run_cmd =
+  let doc = "Simulate one run and print its metrics." in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the rollback-dependency graph in Graphviz format.")
+  in
+  let draw =
+    Arg.(
+      value & flag
+      & info [ "draw" ]
+          ~doc:"Print an ASCII space-time diagram of the run (small runs only).")
+  in
+  let action env protocol n seed messages dot draw =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+    print_metrics r;
+    if draw then begin
+      match Rdt_pattern.Render.ascii r.pattern with
+      | Ok diagram -> print_string diagram
+      | Error e -> Format.printf "cannot draw: %s@." e
+    end;
+    match dot with
+    | None -> ()
+    | Some file ->
+        let g = Rdt_pattern.Rgraph.build r.pattern in
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc (Rdt_pattern.Rgraph.to_dot g));
+        Format.printf "R-graph written to %s@." file
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ dot $ draw)
+
+let verify_cmd =
+  let doc = "Simulate one run and verify the RDT property offline (three checkers)." in
+  let action env protocol n seed messages =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+    print_metrics r;
+    let rep = Rdt_core.Checker.check r.pattern in
+    Format.printf "R-graph vs TDV     : %a@." Rdt_core.Checker.pp_report rep;
+    Format.printf "causal-chain search: %a@." Rdt_core.Checker.pp_report
+      (Rdt_core.Checker.check_chains r.pattern);
+    Format.printf "CM-path doubling   : %a@." Rdt_core.Checker.pp_report
+      (Rdt_core.Checker.check_doubling r.pattern);
+    Format.printf "Corollary 4.5      : %s@."
+      (if Rdt_core.Min_gcp.corollary_holds r.pattern then "holds" else "VIOLATED");
+    if not rep.Rdt_core.Checker.rdt then exit 1
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg)
+
+let experiments_cmd =
+  let doc = "Reproduce the paper's figures and tables." in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Use 3 seeds instead of 10 (fast smoke run).")
+  in
+  let action quick = Rdt_harness.Experiments.run_all ~quick () in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ quick)
+
+let recover_cmd =
+  let doc = "Simulate crashes at the end of a run and compute the recovery line." in
+  let crash_arg =
+    Arg.(
+      value & opt_all int [ 0 ]
+      & info [ "crash" ] ~docv:"PID" ~doc:"Process that crashes (repeatable).")
+  in
+  let at_arg =
+    Arg.(
+      value & opt float 0.9
+      & info [ "at" ] ~docv:"FRACTION"
+          ~doc:"Crash time as a fraction of the run duration; the crashed processes lose every \
+                checkpoint taken after it.")
+  in
+  let action env protocol n seed messages crashes at =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+    print_metrics r;
+    let pat = r.pattern in
+    let crash_time =
+      int_of_float (at *. float_of_int r.metrics.Rdt_core.Metrics.duration)
+    in
+    let crashes =
+      List.map
+        (fun pid ->
+          (* the crash destroys the volatile state and everything after
+             [crash_time]: restart from the last durable checkpoint *)
+          let cks = Rdt_pattern.Pattern.checkpoints pat pid in
+          let available = ref 0 in
+          Array.iter
+            (fun (c : Rdt_pattern.Types.ckpt) ->
+              if c.kind <> Rdt_pattern.Types.Final && c.time <= crash_time then
+                available := c.index)
+            cks;
+          { Rdt_recovery.Recovery_line.pid; available = !available })
+        (List.sort_uniq compare crashes)
+    in
+    let outcome = Rdt_recovery.Recovery_line.recover pat crashes in
+    Format.printf "crash at t=%d of: %s@." crash_time
+      (String.concat ", "
+         (List.map (fun c -> string_of_int c.Rdt_recovery.Recovery_line.pid) crashes));
+    Format.printf "%a@." Rdt_recovery.Recovery_line.pp_outcome outcome
+  in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ crash_arg $ at_arg)
+
+let snapshot_cmd =
+  let doc = "Run coordinated (Chandy-Lamport) snapshots over a workload and verify the cuts." in
+  let period_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "period" ] ~docv:"T" ~doc:"Delay between snapshot initiations.")
+  in
+  let action env n seed messages period =
+    let module S = Rdt_coordinated.Snapshot in
+    let r =
+      S.run
+        {
+          (S.default_config ((fun (_, f) -> f ()) env)) with
+          S.n;
+          seed;
+          max_messages = messages;
+          initiation_period = period;
+        }
+    in
+    Format.printf
+      "%d app messages, %d snapshots completed, %d markers, mean latency %.0f@."
+      r.S.metrics.S.app_messages r.S.metrics.S.snapshots_completed
+      r.S.metrics.S.marker_messages r.S.metrics.S.mean_latency;
+    List.iter
+      (fun (s : S.snapshot) ->
+        let consistent = Rdt_pattern.Consistency.consistent_global r.S.pattern s.S.cut in
+        Format.printf "snapshot %d at t=%d..%d: cut [%s], %d in-transit, consistent=%b@."
+          s.S.id s.S.initiated_at s.S.completed_at
+          (String.concat ";" (List.map string_of_int (Array.to_list s.S.cut)))
+          (List.length s.S.channel_state) consistent)
+      r.S.snapshots
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(const action $ env_arg $ n_arg $ seed_arg $ messages_arg $ period_arg)
+
+let twophase_cmd =
+  let doc = "Run Koo-Toueg two-phase coordinated checkpointing over a workload." in
+  let period_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "period" ] ~docv:"T" ~doc:"Delay between checkpoint rounds.")
+  in
+  let action env n seed messages period =
+    let module KT = Rdt_coordinated.Koo_toueg in
+    let r =
+      KT.run
+        {
+          (KT.default_config ((fun (_, f) -> f ()) env)) with
+          KT.n;
+          seed;
+          max_messages = messages;
+          initiation_period = period;
+        }
+    in
+    Format.printf
+      "%d app messages, %d rounds, %d control messages, %d checkpoints, mean %.1f        participants, mean latency %.0f@."
+      r.KT.metrics.KT.app_messages r.KT.metrics.KT.rounds_committed
+      r.KT.metrics.KT.control_messages r.KT.metrics.KT.checkpoints_taken
+      r.KT.metrics.KT.mean_participants r.KT.metrics.KT.mean_latency;
+    List.iter
+      (fun (rd : KT.round) ->
+        Format.printf "round %d t=%d..%d: %d participants, cut [%s], consistent=%b@." rd.KT.id
+          rd.KT.initiated_at rd.KT.committed_at
+          (List.length rd.KT.participants)
+          (String.concat ";" (List.map string_of_int (Array.to_list rd.KT.cut)))
+          (Rdt_pattern.Consistency.consistent_global r.KT.pattern rd.KT.cut))
+      r.KT.rounds
+  in
+  Cmd.v (Cmd.info "twophase" ~doc)
+    Term.(const action $ env_arg $ n_arg $ seed_arg $ messages_arg $ period_arg)
+
+let crashrun_cmd =
+  let doc = "Inject fail-stop crashes during the run and recover online." in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all (t2 ~sep:'@' int int) [ (0, 3000) ]
+      & info [ "crash" ] ~docv:"PID@TIME" ~doc:"Crash of PID at TIME (repeatable).")
+  in
+  let repair_arg =
+    Arg.(value & opt int 200 & info [ "repair" ] ~docv:"D" ~doc:"Downtime before recovery.")
+  in
+  let action env protocol n seed messages crashes repair =
+    let module CS = Rdt_failures.Crash_sim in
+    let crashes =
+      List.map (fun (victim, at) -> { CS.victim; at; repair_delay = repair }) crashes
+    in
+    let r =
+      CS.run
+        {
+          (CS.default_config ((fun (_, f) -> f ()) env) protocol) with
+          CS.n;
+          seed;
+          max_messages = messages;
+          crashes;
+        }
+    in
+    List.iter
+      (fun (rc : CS.recovery) ->
+        Format.printf
+          "crash of P%d at t=%d: line=[%s] undone=%d ckpts_undone=%d dead_msgs=%d replayed=%d@."
+          rc.crash.victim rc.crash.at
+          (String.concat ";" (List.map string_of_int (Array.to_list rc.line)))
+          rc.events_undone rc.checkpoints_undone rc.messages_undone rc.messages_replayed)
+      r.recoveries;
+    Format.printf
+      "surviving: %d deliveries, %d basic + %d forced checkpoints, %d events undone total@."
+      r.metrics.CS.messages_delivered r.metrics.CS.basic r.metrics.CS.forced
+      r.metrics.CS.total_events_undone;
+    Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
+    Format.printf "RDT on the surviving execution: %a@." Rdt_core.Checker.pp_report
+      (Rdt_core.Checker.check r.pattern)
+  in
+  Cmd.v (Cmd.info "crashrun" ~doc)
+    Term.(
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ crash_arg
+      $ repair_arg)
+
+let list_cmd =
+  let doc = "List available protocols and environments." in
+  let action () =
+    Format.printf "Protocols:@.";
+    List.iter
+      (fun p ->
+        Format.printf "  %-9s %s%s@." (Rdt_core.Protocol.name p) (Rdt_core.Protocol.describe p)
+          (if Rdt_core.Protocol.ensures_rdt p then "" else "  [no RDT guarantee]"))
+      Rdt_core.Registry.all;
+    Format.printf "@.Environments:@.";
+    List.iter
+      (fun (name, descr, _) -> Format.printf "  %-14s %s@." name descr)
+      Rdt_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const action $ const ())
+
+let main =
+  let doc = "communication-induced checkpointing with rollback-dependency trackability" in
+  Cmd.group
+    (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
+    [ run_cmd; verify_cmd; experiments_cmd; recover_cmd; snapshot_cmd; twophase_cmd; crashrun_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

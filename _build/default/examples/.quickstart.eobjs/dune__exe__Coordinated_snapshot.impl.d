@@ -1,0 +1,1 @@
+examples/coordinated_snapshot.ml: Array Format List Printf Rdt_coordinated Rdt_core Rdt_pattern Rdt_recovery Rdt_workloads String

@@ -1,0 +1,1 @@
+examples/debugging_breakpoint.ml: Format List Printf Rdt_core Rdt_pattern Rdt_recovery Rdt_workloads String

@@ -1,0 +1,1 @@
+examples/debugging_breakpoint.mli:

@@ -1,0 +1,1 @@
+examples/online_recovery.ml: Array Format List Rdt_core Rdt_failures Rdt_workloads String

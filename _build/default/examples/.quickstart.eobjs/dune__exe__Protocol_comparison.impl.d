@@ -1,0 +1,1 @@
+examples/protocol_comparison.ml: List Rdt_core Rdt_harness Rdt_workloads

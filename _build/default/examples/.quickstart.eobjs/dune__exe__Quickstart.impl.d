@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Printf Rdt_core Rdt_pattern Rdt_workloads String

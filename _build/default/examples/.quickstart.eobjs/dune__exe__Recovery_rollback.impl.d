@@ -1,0 +1,1 @@
+examples/recovery_rollback.ml: Array Format Rdt_core Rdt_pattern Rdt_recovery Rdt_workloads

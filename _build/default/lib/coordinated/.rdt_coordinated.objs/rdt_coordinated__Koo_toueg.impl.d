@@ -1,0 +1,1 @@
+lib/coordinated/koo_toueg.ml: Array List Rdt_dist Rdt_pattern

@@ -1,0 +1,1 @@
+lib/coordinated/koo_toueg.mli: Rdt_dist Rdt_pattern

@@ -1,0 +1,1 @@
+lib/coordinated/snapshot.ml: Array Fun List Rdt_dist Rdt_pattern

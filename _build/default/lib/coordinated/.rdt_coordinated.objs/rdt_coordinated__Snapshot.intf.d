@@ -1,0 +1,1 @@
+lib/coordinated/snapshot.mli: Rdt_dist Rdt_pattern

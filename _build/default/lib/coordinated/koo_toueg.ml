@@ -1,0 +1,261 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+module Channel = Rdt_dist.Channel
+module Event_queue = Rdt_dist.Event_queue
+module Pattern = Rdt_pattern.Pattern
+module Ptypes = Rdt_pattern.Types
+
+type config = {
+  n : int;
+  seed : int;
+  env : Env.t;
+  channel : Channel.spec;
+  initiation_period : int;
+  max_messages : int;
+  max_time : int;
+}
+
+let default_config env =
+  {
+    n = 8;
+    seed = 1;
+    env;
+    channel = Channel.Uniform (5, 100);
+    initiation_period = 500;
+    max_messages = 2000;
+    max_time = max_int / 2;
+  }
+
+type round = {
+  id : int;
+  initiated_at : int;
+  committed_at : int;
+  participants : int list;
+  cut : int array;
+  control_messages : int;
+  deferred_sends : int;
+}
+
+type metrics = {
+  app_messages : int;
+  control_messages : int;
+  rounds_committed : int;
+  checkpoints_taken : int;
+  mean_participants : float;
+  mean_latency : float;
+}
+
+type result = { pattern : Pattern.t; rounds : round list; metrics : metrics }
+
+type payload =
+  | App of int
+  | Request of int (* round id *)
+  | Reply of int
+  | Commit of int
+
+type queued =
+  | Tick of int
+  | Initiate
+  | Arrival of { src : int; dst : int; payload : payload }
+
+(* per-process two-phase state *)
+type pstate = {
+  mutable received_from : bool array; (* since the last checkpoint taken *)
+  mutable tentative : bool;
+  mutable requester : int; (* -1 for the initiator *)
+  mutable awaiting : int; (* replies still expected from the cohort *)
+  mutable children : int list; (* cohort, for the commit wave *)
+  mutable deferred : int list; (* destinations of sends deferred while tentative *)
+}
+
+let validate cfg =
+  if cfg.n < 2 then invalid_arg "Koo_toueg: n must be >= 2";
+  if cfg.initiation_period < 1 then invalid_arg "Koo_toueg: initiation_period must be >= 1";
+  match Channel.validate cfg.channel with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Koo_toueg: bad channel spec: " ^ e)
+
+let run cfg =
+  validate cfg;
+  let (module E : Env.S) = cfg.env in
+  let rng = Rng.create cfg.seed in
+  let env = E.create ~n:cfg.n ~rng:(Rng.split rng) in
+  let builder = Pattern.Builder.create ~n:cfg.n in
+  let queue : queued Event_queue.t = Event_queue.create () in
+  let now = ref 0 in
+  let sent = ref 0 in
+  let control = ref 0 in
+  let ckpt_index = Array.make cfg.n 0 in
+  let ps =
+    Array.init cfg.n (fun _ ->
+        {
+          received_from = Array.make cfg.n false;
+          tentative = false;
+          requester = -1;
+          awaiting = 0;
+          children = [];
+          deferred = [];
+        })
+  in
+  (* current round bookkeeping *)
+  let active = ref None in
+  let next_round = ref 0 in
+  let rounds = ref [] in
+  let round_deferred = ref 0 in
+  let transmit ~src ~dst payload =
+    Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel)
+      (Arrival { src; dst; payload })
+  in
+  let send_control ~src ~dst payload =
+    incr control;
+    transmit ~src ~dst payload
+  in
+  let send_app ~src ~dst =
+    if !sent < cfg.max_messages && src <> dst then
+      if ps.(src).tentative then begin
+        incr round_deferred;
+        ps.(src).deferred <- dst :: ps.(src).deferred
+      end
+      else begin
+        incr sent;
+        let handle = Pattern.Builder.send builder ~src ~dst in
+        transmit ~src ~dst (App handle)
+      end
+  in
+  let take_tentative pid r ~requester =
+    let st = ps.(pid) in
+    st.tentative <- true;
+    st.requester <- requester;
+    ignore (Pattern.Builder.checkpoint ~kind:Ptypes.Basic ~time:!now builder pid);
+    ckpt_index.(pid) <- ckpt_index.(pid) + 1;
+    (match !active with
+    | Some (id, t0, parts, c0) when id = r -> active := Some (id, t0, pid :: parts, c0)
+    | Some _ | None -> ());
+    (* the cohort: everyone this process received from since its last
+       checkpoint *)
+    let cohort = ref [] in
+    Array.iteri (fun q got -> if got && q <> pid && q <> requester then cohort := q :: !cohort) st.received_from;
+    st.received_from <- Array.make cfg.n false;
+    st.children <- !cohort;
+    st.awaiting <- List.length !cohort;
+    List.iter (fun q -> send_control ~src:pid ~dst:q (Request r)) !cohort;
+    st.awaiting = 0 (* true when the subtree is trivially done *)
+  in
+  let rec finish_round id =
+    match !active with
+    | Some (rid, t0, parts, c0) when rid = id ->
+        rounds :=
+          {
+            id;
+            initiated_at = t0;
+            committed_at = !now;
+            participants = List.rev parts;
+            cut = Array.copy ckpt_index;
+            control_messages = !control - c0;
+            deferred_sends = !round_deferred;
+          }
+          :: !rounds;
+        active := None;
+        if !sent < cfg.max_messages && !now <= cfg.max_time then
+          Event_queue.schedule queue ~time:(!now + cfg.initiation_period) Initiate
+    | Some _ | None -> ()
+
+  and commit pid id =
+    let st = ps.(pid) in
+    if st.tentative then begin
+      st.tentative <- false;
+      List.iter (fun q -> send_control ~src:pid ~dst:q (Commit id)) st.children;
+      st.children <- [];
+      (* release the deferred sends *)
+      let dests = List.rev st.deferred in
+      st.deferred <- [];
+      List.iter (fun dst -> send_app ~src:pid ~dst) dests;
+      if st.requester = -1 then finish_round id;
+      st.requester <- -1
+    end
+
+  and subtree_done pid id =
+    (* this participant's whole request subtree has answered *)
+    let st = ps.(pid) in
+    if st.requester >= 0 then send_control ~src:pid ~dst:st.requester (Reply id)
+    else commit pid id
+  in
+  let initiate () =
+    match !active with
+    | Some _ -> ()
+    | None ->
+        let id = !next_round in
+        incr next_round;
+        round_deferred := 0;
+        active := Some (id, !now, [], !control);
+        if take_tentative 0 id ~requester:(-1) then subtree_done 0 id
+  in
+  let on_control ~src ~dst payload =
+    match payload with
+    | Request r ->
+        let st = ps.(dst) in
+        if st.tentative then send_control ~src:dst ~dst:src (Reply r)
+        else if take_tentative dst r ~requester:src then subtree_done dst r
+    | Reply r ->
+        let st = ps.(dst) in
+        st.awaiting <- st.awaiting - 1;
+        if st.awaiting = 0 then subtree_done dst r
+    | Commit r -> commit dst r
+    | App _ -> assert false
+  in
+  let do_action pid = function
+    | Env.Send dst -> send_app ~src:pid ~dst
+    | Env.Internal -> Pattern.Builder.internal builder pid
+    | Env.Checkpoint -> () (* local checkpoint requests are the algorithm's job *)
+  in
+  for pid = 0 to cfg.n - 1 do
+    Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (Tick pid)
+  done;
+  Event_queue.schedule queue ~time:cfg.initiation_period Initiate;
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        now := t;
+        match ev with
+        | Tick pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              let { Env.actions; next_tick_in } = E.on_tick env ~pid in
+              List.iter (do_action pid) actions;
+              match next_tick_in with
+              | Some d -> Event_queue.schedule queue ~time:(t + max 1 d) (Tick pid)
+              | None -> ()
+            end
+        | Initiate -> if !sent < cfg.max_messages then initiate ()
+        | Arrival { src; dst; payload } -> (
+            match payload with
+            | App handle ->
+                ps.(dst).received_from.(src) <- true;
+                Pattern.Builder.recv builder handle;
+                List.iter (do_action dst) (E.on_deliver env ~pid:dst ~src)
+            | Request _ | Reply _ | Commit _ -> on_control ~src ~dst payload))
+  done;
+  (match !active with
+  | Some _ -> invalid_arg "Koo_toueg: run ended with an uncommitted round"
+  | None -> ());
+  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let rounds = List.rev !rounds in
+  let nrounds = List.length rounds in
+  let mean f =
+    if nrounds = 0 then 0.0
+    else List.fold_left (fun a r -> a +. f r) 0.0 rounds /. float_of_int nrounds
+  in
+  {
+    pattern;
+    rounds;
+    metrics =
+      {
+        app_messages = !sent;
+        control_messages = !control;
+        rounds_committed = nrounds;
+        checkpoints_taken = Array.fold_left ( + ) 0 ckpt_index;
+        mean_participants = mean (fun r -> float_of_int (List.length r.participants));
+        mean_latency = mean (fun r -> float_of_int (r.committed_at - r.initiated_at));
+      };
+  }

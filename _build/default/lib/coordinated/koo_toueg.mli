@@ -1,0 +1,68 @@
+(** Coordinated checkpointing, take two: the Koo-Toueg two-phase
+    algorithm [6] — the other synchronised baseline the paper's
+    introduction names.
+
+    Where Chandy-Lamport snapshots {e everyone} and needs FIFO channels,
+    Koo-Toueg checkpoints only the processes the initiator transitively
+    depends on, at the price of {e blocking}:
+
+    + the initiator takes a tentative checkpoint and sends a request to
+      every process it has received messages from since its last
+      checkpoint (its {e cohort} — exactly the senders whose messages
+      would become orphans);
+    + a requested process takes its own tentative checkpoint, propagates
+      requests to its own cohort, and answers its requester once its
+      subtree has answered;
+    + from tentative checkpoint to commit, a participant {e defers its
+      application sends} (this is what keeps the cut consistent: a
+      message sent after a tentative checkpoint can never be delivered
+      before another participant's);
+    + when the initiator's cohort has answered, a commit wave makes the
+      tentative checkpoints permanent and releases the deferred sends.
+
+    Every committed round yields a cut — new checkpoints for the
+    participants, last checkpoints for the rest — that is consistent by
+    construction (verified against {!Rdt_pattern.Consistency} in the test
+    suite).  The costs measured here: control messages (requests, replies,
+    commits), the number of participants per round, deferred sends, and
+    round latency. *)
+
+type config = {
+  n : int;
+  seed : int;
+  env : Rdt_dist.Env.t;
+  channel : Rdt_dist.Channel.spec;
+  initiation_period : int;
+  max_messages : int;
+  max_time : int;
+}
+
+val default_config : Rdt_dist.Env.t -> config
+
+type round = {
+  id : int;
+  initiated_at : int;
+  committed_at : int;
+  participants : int list;  (** processes that took a checkpoint *)
+  cut : int array;  (** per process: checkpoint index of the round's cut *)
+  control_messages : int;
+  deferred_sends : int;
+}
+
+type metrics = {
+  app_messages : int;
+  control_messages : int;
+  rounds_committed : int;
+  checkpoints_taken : int;
+  mean_participants : float;
+  mean_latency : float;
+}
+
+type result = {
+  pattern : Rdt_pattern.Pattern.t;
+  rounds : round list;
+  metrics : metrics;
+}
+
+val run : config -> result
+(** @raise Invalid_argument on nonsensical configurations. *)

@@ -1,0 +1,226 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+module Channel = Rdt_dist.Channel
+module Event_queue = Rdt_dist.Event_queue
+module Pattern = Rdt_pattern.Pattern
+module Ptypes = Rdt_pattern.Types
+
+type config = {
+  n : int;
+  seed : int;
+  env : Env.t;
+  channel : Channel.spec;
+  initiation_period : int;
+  max_messages : int;
+  max_time : int;
+}
+
+let default_config env =
+  {
+    n = 8;
+    seed = 1;
+    env;
+    channel = Channel.Uniform (5, 100);
+    initiation_period = 500;
+    max_messages = 2000;
+    max_time = max_int / 2;
+  }
+
+type snapshot = {
+  id : int;
+  initiated_at : int;
+  completed_at : int;
+  cut : int array;
+  channel_state : int list;
+}
+
+type metrics = {
+  app_messages : int;
+  marker_messages : int;
+  snapshots_completed : int;
+  mean_latency : float;
+}
+
+type result = { pattern : Pattern.t; snapshots : snapshot list; metrics : metrics }
+
+let markers_per_snapshot ~n = n * (n - 1)
+
+type payload =
+  | App of int (* pattern message handle *)
+  | Marker of int (* snapshot id *)
+
+type queued =
+  | Tick of int
+  | Initiate
+  | Arrival of { src : int; dst : int; payload : payload }
+
+(* per-snapshot bookkeeping *)
+type active = {
+  a_id : int;
+  a_initiated_at : int;
+  a_recorded : bool array;
+  a_cut : int array;
+  a_chan_closed : bool array array; (* marker received on channel src -> dst *)
+  mutable a_open_channels : int;
+  mutable a_collected : int list; (* channel-state message ids *)
+}
+
+let validate cfg =
+  if cfg.n < 2 then invalid_arg "Snapshot: n must be >= 2";
+  if cfg.initiation_period < 1 then invalid_arg "Snapshot: initiation_period must be >= 1";
+  if cfg.max_messages < 0 then invalid_arg "Snapshot: negative message budget";
+  match Channel.validate cfg.channel with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Snapshot: bad channel spec: " ^ e)
+
+let run cfg =
+  validate cfg;
+  let (module E : Env.S) = cfg.env in
+  let rng = Rng.create cfg.seed in
+  let env = E.create ~n:cfg.n ~rng:(Rng.split rng) in
+  let builder = Pattern.Builder.create ~n:cfg.n in
+  let queue : queued Event_queue.t = Event_queue.create () in
+  let now = ref 0 in
+  let sent = ref 0 in
+  let markers = ref 0 in
+  let active : active option ref = ref None in
+  let next_snapshot_id = ref 0 in
+  let snapshots = ref [] in
+  (* FIFO enforcement: last scheduled arrival per ordered channel *)
+  let last_arrival = Array.make_matrix cfg.n cfg.n 0 in
+  let transmit ~src ~dst payload =
+    let delay = Channel.sample rng cfg.channel in
+    let t = max (!now + delay) (last_arrival.(src).(dst) + 1) in
+    last_arrival.(src).(dst) <- t;
+    Event_queue.schedule queue ~time:t (Arrival { src; dst; payload })
+  in
+  let send_app ~src ~dst =
+    if !sent < cfg.max_messages && src <> dst then begin
+      incr sent;
+      let handle = Pattern.Builder.send builder ~src ~dst in
+      transmit ~src ~dst (App handle)
+    end
+  in
+  let send_markers ~src id =
+    for dst = 0 to cfg.n - 1 do
+      if dst <> src then begin
+        incr markers;
+        transmit ~src ~dst (Marker id)
+      end
+    done
+  in
+  let record_state a pid =
+    a.a_recorded.(pid) <- true;
+    a.a_cut.(pid) <- Pattern.Builder.checkpoint ~kind:Ptypes.Basic ~time:!now builder pid;
+    send_markers ~src:pid a.a_id
+  in
+  let initiate () =
+    (* only the designated initiator P0 starts snapshots, one at a time *)
+    match !active with
+    | Some _ -> ()
+    | None ->
+        let a =
+          {
+            a_id = !next_snapshot_id;
+            a_initiated_at = !now;
+            a_recorded = Array.make cfg.n false;
+            a_cut = Array.make cfg.n (-1);
+            a_chan_closed = Array.make_matrix cfg.n cfg.n false;
+            a_open_channels = markers_per_snapshot ~n:cfg.n;
+            a_collected = [];
+          }
+        in
+        incr next_snapshot_id;
+        active := Some a;
+        record_state a 0
+  in
+  let complete a =
+    snapshots :=
+      {
+        id = a.a_id;
+        initiated_at = a.a_initiated_at;
+        completed_at = !now;
+        cut = Array.copy a.a_cut;
+        channel_state = List.rev a.a_collected;
+      }
+      :: !snapshots;
+    active := None;
+    if !sent < cfg.max_messages && !now <= cfg.max_time then
+      Event_queue.schedule queue ~time:(!now + cfg.initiation_period) Initiate
+  in
+  let on_marker ~src ~dst id =
+    match !active with
+    | None -> invalid_arg "Snapshot: marker without an active snapshot"
+    | Some a ->
+        if a.a_id <> id then invalid_arg "Snapshot: marker for the wrong snapshot";
+        if not a.a_recorded.(dst) then record_state a dst;
+        if not a.a_chan_closed.(src).(dst) then begin
+          a.a_chan_closed.(src).(dst) <- true;
+          a.a_open_channels <- a.a_open_channels - 1
+        end;
+        if a.a_open_channels = 0 && Array.for_all Fun.id a.a_recorded then complete a
+  in
+  let do_action pid = function
+    | Env.Send dst -> send_app ~src:pid ~dst
+    | Env.Internal -> Pattern.Builder.internal builder pid
+    | Env.Checkpoint -> () (* coordinated checkpointing ignores local requests *)
+  in
+  for pid = 0 to cfg.n - 1 do
+    Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (Tick pid)
+  done;
+  Event_queue.schedule queue ~time:cfg.initiation_period Initiate;
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        now := t;
+        match ev with
+        | Tick pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              let { Env.actions; next_tick_in } = E.on_tick env ~pid in
+              List.iter (do_action pid) actions;
+              match next_tick_in with
+              | Some d -> Event_queue.schedule queue ~time:(t + max 1 d) (Tick pid)
+              | None -> ()
+            end
+        | Initiate -> if !sent < cfg.max_messages then initiate ()
+        | Arrival { src; dst; payload } -> (
+            match payload with
+            | Marker id -> on_marker ~src ~dst id
+            | App handle ->
+                (* a message arriving on a still-open channel after the
+                   receiver recorded belongs to the channel's state *)
+                (match !active with
+                | Some a when a.a_recorded.(dst) && not a.a_chan_closed.(src).(dst) ->
+                    a.a_collected <- handle :: a.a_collected
+                | Some _ | None -> ());
+                Pattern.Builder.recv builder handle;
+                let reactions = E.on_deliver env ~pid:dst ~src in
+                List.iter (do_action dst) reactions))
+  done;
+  (match !active with
+  | Some _ -> invalid_arg "Snapshot: run ended with an incomplete snapshot"
+  | None -> ());
+  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let completed = List.rev !snapshots in
+  let latency =
+    match completed with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left
+          (fun acc s -> acc +. float_of_int (s.completed_at - s.initiated_at))
+          0.0 completed
+        /. float_of_int (List.length completed)
+  in
+  {
+    pattern;
+    snapshots = completed;
+    metrics =
+      {
+        app_messages = !sent;
+        marker_messages = !markers;
+        snapshots_completed = List.length completed;
+        mean_latency = latency;
+      };
+  }

@@ -1,0 +1,67 @@
+(** Coordinated checkpointing: the Chandy-Lamport distributed snapshot
+    protocol [3], as the synchronised baseline the paper's introduction
+    contrasts communication-induced checkpointing against ("the
+    coordination is achieved at the price of synchronization by means of
+    additional control messages").
+
+    A designated initiator periodically starts a snapshot: it records its
+    local state and sends a {e marker} on every outgoing channel; a
+    process receiving its first marker of that snapshot records its state
+    and floods markers in turn; afterwards, the messages arriving on a
+    channel before that channel's marker are recorded as the channel's
+    state.  Chandy-Lamport requires FIFO channels, so this runtime (unlike
+    the CIC one) delivers messages of each ordered channel in send order.
+
+    Every completed snapshot yields one local checkpoint per process; the
+    resulting global checkpoints are consistent {e by construction}, and
+    the recorded channel states are exactly the in-transit messages of the
+    cut — both facts are cross-checked in the test suite against
+    {!Rdt_pattern.Consistency} and the message-logging analysis.
+
+    The price is visible in the metrics: [n·(n-1)] marker messages per
+    snapshot and a completion latency, against the CIC protocols' zero
+    control messages and piggybacked data. *)
+
+type config = {
+  n : int;
+  seed : int;
+  env : Rdt_dist.Env.t;
+  channel : Rdt_dist.Channel.spec;
+  initiation_period : int;
+      (** simulated-time delay between the completion of a snapshot and
+          the initiation of the next *)
+  max_messages : int;  (** application-message budget *)
+  max_time : int;
+}
+
+val default_config : Rdt_dist.Env.t -> config
+
+type snapshot = {
+  id : int;
+  initiated_at : int;
+  completed_at : int;
+  cut : int array;  (** checkpoint index per process *)
+  channel_state : int list;
+      (** application message ids recorded as in transit across the cut *)
+}
+
+type metrics = {
+  app_messages : int;
+  marker_messages : int;
+  snapshots_completed : int;
+  mean_latency : float;  (** mean completion time of a snapshot *)
+}
+
+type result = {
+  pattern : Rdt_pattern.Pattern.t;
+  snapshots : snapshot list;  (** in completion order *)
+  metrics : metrics;
+}
+
+val run : config -> result
+(** Runs the environment to its message budget while taking periodic
+    coordinated snapshots.  Deterministic in the configuration.
+    @raise Invalid_argument on nonsensical configurations. *)
+
+val markers_per_snapshot : n:int -> int
+(** The marker cost of one snapshot: [n * (n - 1)]. *)

@@ -1,0 +1,1 @@
+lib/core/bhmr.ml: Array Control Predicates

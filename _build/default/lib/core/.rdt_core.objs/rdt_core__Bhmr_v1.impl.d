@@ -1,0 +1,1 @@
+lib/core/bhmr_v1.ml: Array Control Predicates

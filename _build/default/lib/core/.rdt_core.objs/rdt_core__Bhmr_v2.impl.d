@@ -1,0 +1,1 @@
+lib/core/bhmr_v2.ml: Array Control Predicates

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Format List Rdt_pattern

@@ -1,0 +1,1 @@
+lib/core/fdas.ml: Array Control Predicates

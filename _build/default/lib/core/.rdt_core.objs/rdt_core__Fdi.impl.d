@@ -1,0 +1,1 @@
+lib/core/fdi.ml: Array Control Predicates

@@ -1,0 +1,1 @@
+lib/core/min_gcp.ml: Array List Rdt_pattern

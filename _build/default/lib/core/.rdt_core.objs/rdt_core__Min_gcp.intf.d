@@ -1,0 +1,1 @@
+lib/core/min_gcp.mli: Rdt_pattern

@@ -1,0 +1,1 @@
+lib/core/no_cic.ml: Control

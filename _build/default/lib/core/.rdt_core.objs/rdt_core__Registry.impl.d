@@ -1,0 +1,1 @@
+lib/core/registry.ml: Bcs Bhmr Bhmr_v1 Bhmr_v2 Cas Cbr Fdas Fdi List No_cic Nras Printf Protocol String

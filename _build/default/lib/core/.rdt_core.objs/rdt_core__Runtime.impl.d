@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Control Hashtbl List Metrics Protocol Rdt_dist Rdt_pattern

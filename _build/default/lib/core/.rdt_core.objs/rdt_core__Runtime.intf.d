@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Metrics Protocol Rdt_dist Rdt_pattern

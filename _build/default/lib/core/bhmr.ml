@@ -1,0 +1,116 @@
+(* The paper's protocol (Figure 6).
+
+   On top of the transitive dependency vector, each process tracks:
+   - [sent_to.(j)]   — sent to P_j since the last checkpoint;
+   - [simple.(k)]    — every causal chain from C_{k,tdv.(k)} to the current
+                       state is simple (no checkpoint between a delivery
+                       and the following send along the chain);
+   - [causal.(k).(l)] — to this process's knowledge there is an on-line
+                       trackable R-path C_{k,tdv.(k)} ~> C_{l,tdv.(l)}.
+
+   An arriving message [m] forces a checkpoint iff
+
+     C1: exists j with sent_to.(j) and exists k with m.tdv.(k) > tdv.(k)
+         and not m.causal.(k).(j)
+         (a non-causal chain from P_k to P_j, breakable here, with no
+         causal sibling known to the sender), or
+
+     C2: m.tdv.(pid) = tdv.(pid) and not m.simple.(pid)
+         (a causal chain left the current interval and came back having
+         crossed a checkpoint: the resulting non-causal chain from some
+         C_{k,z} to C_{k,z-1} is breakable only by this process). *)
+
+type state = {
+  n : int;
+  pid : int;
+  tdv : int array;
+  sent_to : bool array;
+  simple : bool array;
+  causal : bool array array;
+}
+
+let name = "bhmr"
+let describe = "Baldoni-Helary-Mostefaoui-Raynal protocol (C1 or C2)"
+let ensures_rdt = true
+let ensures_no_useless = true
+
+let create ~n ~pid =
+  let causal = Array.init n (fun k -> Array.init n (fun l -> k = l)) in
+  let simple = Array.init n (fun k -> k = pid) in
+  { n; pid; tdv = Array.make n 0; sent_to = Array.make n false; simple; causal }
+
+let copy st =
+  {
+    st with
+    tdv = Array.copy st.tdv;
+    sent_to = Array.copy st.sent_to;
+    simple = Array.copy st.simple;
+    causal = Control.copy_matrix st.causal;
+  }
+
+let on_checkpoint st =
+  Array.fill st.sent_to 0 st.n false;
+  for j = 0 to st.n - 1 do
+    if j <> st.pid then begin
+      st.simple.(j) <- false;
+      st.causal.(st.pid).(j) <- false
+    end
+  done;
+  st.tdv.(st.pid) <- st.tdv.(st.pid) + 1
+
+let make_payload st ~dst =
+  st.sent_to.(dst) <- true;
+  Control.Full
+    {
+      tdv = Array.copy st.tdv;
+      simple = Array.copy st.simple;
+      causal = Control.copy_matrix st.causal;
+    }
+
+let force_after_send = false
+
+let fields = function
+  | Control.Full { tdv; simple; causal } -> (tdv, simple, causal)
+  | Control.Nothing | Control.Tdv _ | Control.Tdv_causal _ ->
+      invalid_arg "Bhmr: unexpected payload"
+
+let must_force st ~src:_ payload =
+  let m_tdv, m_simple, m_causal = fields payload in
+  Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal
+  || Predicates.c2 ~pid:st.pid ~tdv:st.tdv ~m_tdv ~m_simple
+
+let absorb st ~src payload =
+  let m_tdv, m_simple, m_causal = fields payload in
+  for k = 0 to st.n - 1 do
+    if m_tdv.(k) > st.tdv.(k) then begin
+      st.tdv.(k) <- m_tdv.(k);
+      st.simple.(k) <- m_simple.(k);
+      Array.blit m_causal.(k) 0 st.causal.(k) 0 st.n
+    end
+    else if m_tdv.(k) = st.tdv.(k) then begin
+      st.simple.(k) <- st.simple.(k) && m_simple.(k);
+      for l = 0 to st.n - 1 do
+        st.causal.(k).(l) <- st.causal.(k).(l) || m_causal.(k).(l)
+      done
+    end
+  done;
+  st.causal.(src).(st.pid) <- true;
+  for l = 0 to st.n - 1 do
+    st.causal.(l).(st.pid) <- st.causal.(l).(st.pid) || st.causal.(l).(src)
+  done
+
+let tdv st = Some (Array.copy st.tdv)
+
+let payload_bits ~n = (32 * n) + n + (n * n)
+
+let after_first_send st = Array.exists (fun b -> b) st.sent_to
+
+let predicates st ~src:_ payload =
+  let m_tdv, m_simple, m_causal = fields payload in
+  [
+    ("c1", Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal);
+    ("c2", Predicates.c2 ~pid:st.pid ~tdv:st.tdv ~m_tdv ~m_simple);
+    ("c2'", Predicates.c2' ~pid:st.pid ~tdv:st.tdv ~m_tdv);
+    ("c_fdas", Predicates.c_fdas ~after_first_send:(after_first_send st) ~tdv:st.tdv ~m_tdv);
+    ("c_fdi", Predicates.c_fdi ~tdv:st.tdv ~m_tdv);
+  ]

@@ -1,0 +1,88 @@
+(* First weaker variant (Section 5.1, suggested by Y.-M. Wang): the
+   [simple] array is dropped and C2 is replaced by
+
+     C2': m.tdv.(pid) = tdv.(pid) and exists k with m.tdv.(k) > tdv.(k)
+
+   i.e. a causal chain returned to its own sending interval while carrying
+   any new dependency.  C2 implies C2', so the variant forces at least as
+   often as the full protocol but piggybacks n fewer bits. *)
+
+type state = {
+  n : int;
+  pid : int;
+  tdv : int array;
+  sent_to : bool array;
+  causal : bool array array;
+}
+
+let name = "bhmr-v1"
+let describe = "variant 1: C1 or C2' (no simple array)"
+let ensures_rdt = true
+let ensures_no_useless = true
+
+let create ~n ~pid =
+  let causal = Array.init n (fun k -> Array.init n (fun l -> k = l)) in
+  { n; pid; tdv = Array.make n 0; sent_to = Array.make n false; causal }
+
+let copy st =
+  {
+    st with
+    tdv = Array.copy st.tdv;
+    sent_to = Array.copy st.sent_to;
+    causal = Control.copy_matrix st.causal;
+  }
+
+let on_checkpoint st =
+  Array.fill st.sent_to 0 st.n false;
+  for j = 0 to st.n - 1 do
+    if j <> st.pid then st.causal.(st.pid).(j) <- false
+  done;
+  st.tdv.(st.pid) <- st.tdv.(st.pid) + 1
+
+let make_payload st ~dst =
+  st.sent_to.(dst) <- true;
+  Control.Tdv_causal { tdv = Array.copy st.tdv; causal = Control.copy_matrix st.causal }
+
+let force_after_send = false
+
+let fields = function
+  | Control.Tdv_causal { tdv; causal } -> (tdv, causal)
+  | Control.Nothing | Control.Tdv _ | Control.Full _ ->
+      invalid_arg "Bhmr_v1: unexpected payload"
+
+let must_force st ~src:_ payload =
+  let m_tdv, m_causal = fields payload in
+  Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal
+  || Predicates.c2' ~pid:st.pid ~tdv:st.tdv ~m_tdv
+
+let absorb st ~src payload =
+  let m_tdv, m_causal = fields payload in
+  for k = 0 to st.n - 1 do
+    if m_tdv.(k) > st.tdv.(k) then begin
+      st.tdv.(k) <- m_tdv.(k);
+      Array.blit m_causal.(k) 0 st.causal.(k) 0 st.n
+    end
+    else if m_tdv.(k) = st.tdv.(k) then
+      for l = 0 to st.n - 1 do
+        st.causal.(k).(l) <- st.causal.(k).(l) || m_causal.(k).(l)
+      done
+  done;
+  st.causal.(src).(st.pid) <- true;
+  for l = 0 to st.n - 1 do
+    st.causal.(l).(st.pid) <- st.causal.(l).(st.pid) || st.causal.(l).(src)
+  done
+
+let tdv st = Some (Array.copy st.tdv)
+
+let payload_bits ~n = (32 * n) + (n * n)
+
+let after_first_send st = Array.exists (fun b -> b) st.sent_to
+
+let predicates st ~src:_ payload =
+  let m_tdv, m_causal = fields payload in
+  [
+    ("c1", Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal);
+    ("c2'", Predicates.c2' ~pid:st.pid ~tdv:st.tdv ~m_tdv);
+    ("c_fdas", Predicates.c_fdas ~after_first_send:(after_first_send st) ~tdv:st.tdv ~m_tdv);
+    ("c_fdi", Predicates.c_fdi ~tdv:st.tdv ~m_tdv);
+  ]

@@ -1,0 +1,88 @@
+(* Second weaker variant (Section 5.1): C2 is dropped entirely and the
+   diagonal of the [causal] matrices is held permanently false.  With a
+   false diagonal, C1 also fires for k = j: the process forces a
+   checkpoint when it has sent to P_j and the arriving message brings a
+   new dependency on P_j itself — which is precisely what used to be C2's
+   job of breaking chains from C_{k,z} back to C_{k,z-1}. *)
+
+type state = {
+  n : int;
+  pid : int;
+  tdv : int array;
+  sent_to : bool array;
+  causal : bool array array;
+}
+
+let name = "bhmr-v2"
+let describe = "variant 2: C1 only, causal diagonal held false"
+let ensures_rdt = true
+let ensures_no_useless = true
+
+let create ~n ~pid =
+  { n; pid; tdv = Array.make n 0; sent_to = Array.make n false;
+    causal = Array.init n (fun _ -> Array.make n false) }
+
+let copy st =
+  {
+    st with
+    tdv = Array.copy st.tdv;
+    sent_to = Array.copy st.sent_to;
+    causal = Control.copy_matrix st.causal;
+  }
+
+let on_checkpoint st =
+  Array.fill st.sent_to 0 st.n false;
+  for j = 0 to st.n - 1 do
+    st.causal.(st.pid).(j) <- false
+  done;
+  st.tdv.(st.pid) <- st.tdv.(st.pid) + 1
+
+let make_payload st ~dst =
+  st.sent_to.(dst) <- true;
+  Control.Tdv_causal { tdv = Array.copy st.tdv; causal = Control.copy_matrix st.causal }
+
+let force_after_send = false
+
+let fields = function
+  | Control.Tdv_causal { tdv; causal } -> (tdv, causal)
+  | Control.Nothing | Control.Tdv _ | Control.Full _ ->
+      invalid_arg "Bhmr_v2: unexpected payload"
+
+let must_force st ~src:_ payload =
+  let m_tdv, m_causal = fields payload in
+  Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal
+
+let absorb st ~src payload =
+  let m_tdv, m_causal = fields payload in
+  for k = 0 to st.n - 1 do
+    if m_tdv.(k) > st.tdv.(k) then begin
+      st.tdv.(k) <- m_tdv.(k);
+      Array.blit m_causal.(k) 0 st.causal.(k) 0 st.n
+    end
+    else if m_tdv.(k) = st.tdv.(k) then
+      for l = 0 to st.n - 1 do
+        st.causal.(k).(l) <- st.causal.(k).(l) || m_causal.(k).(l)
+      done
+  done;
+  st.causal.(src).(st.pid) <- true;
+  for l = 0 to st.n - 1 do
+    st.causal.(l).(st.pid) <- st.causal.(l).(st.pid) || st.causal.(l).(src)
+  done;
+  (* restore the variant's invariant: diagonal permanently false *)
+  for k = 0 to st.n - 1 do
+    st.causal.(k).(k) <- false
+  done
+
+let tdv st = Some (Array.copy st.tdv)
+
+let payload_bits ~n = (32 * n) + (n * n)
+
+let after_first_send st = Array.exists (fun b -> b) st.sent_to
+
+let predicates st ~src:_ payload =
+  let m_tdv, m_causal = fields payload in
+  [
+    ("c1", Predicates.c1 ~sent_to:st.sent_to ~tdv:st.tdv ~m_tdv ~m_causal);
+    ("c_fdas", Predicates.c_fdas ~after_first_send:(after_first_send st) ~tdv:st.tdv ~m_tdv);
+    ("c_fdi", Predicates.c_fdi ~tdv:st.tdv ~m_tdv);
+  ]

@@ -1,0 +1,112 @@
+module Pattern = Rdt_pattern.Pattern
+module Rgraph = Rdt_pattern.Rgraph
+module Tdv = Rdt_pattern.Tdv
+module Chains = Rdt_pattern.Chains
+module Ptypes = Rdt_pattern.Types
+
+type violation = {
+  from_ckpt : Ptypes.ckpt_id;
+  to_ckpt : Ptypes.ckpt_id;
+  tracked : int;
+}
+
+type report = { rdt : bool; violations : violation list; r_paths_checked : int }
+
+let max_reported = 20
+
+let pp_violation ppf v =
+  Format.fprintf ppf "R-path %a ~> %a is not trackable (TDV entry = %d)" Ptypes.pp_ckpt_id
+    v.from_ckpt Ptypes.pp_ckpt_id v.to_ckpt v.tracked
+
+let pp_report ppf r =
+  if r.rdt then Format.fprintf ppf "RDT holds (%d dependencies checked)" r.r_paths_checked
+  else
+    Format.fprintf ppf "RDT VIOLATED (%d dependencies checked):@,%a" r.r_paths_checked
+      (Format.pp_print_list pp_violation)
+      r.violations
+
+(* For every checkpoint C_{j,y} and every process i, the strongest real
+   rollback dependency is x* = max { x | C_{i,x} ~> C_{j,y} }; the pattern
+   is RDT iff that dependency is trackable everywhere: TDV_{j,y}.(i) >= x*
+   for i <> j, and x* <= y for i = j (a same-process R-path backwards in
+   time — C_{k,z} ~> C_{k,z-1} — is never trackable, Section 4.1.2).
+   Dependencies that do not exist are never checked: x* = -1. *)
+let check_with ~trackable pat =
+  let g = Rgraph.build pat in
+  let n = Pattern.n pat in
+  let violations = ref [] in
+  let count = ref 0 in
+  let checked = ref 0 in
+  for j = 0 to n - 1 do
+    for y = 0 to Pattern.last_index pat j do
+      for i = 0 to n - 1 do
+        let x_star = Rgraph.max_reaching_index g ~from_pid:i (j, y) in
+        if x_star >= 0 then begin
+          incr checked;
+          if not (trackable (i, x_star) (j, y)) then begin
+            incr count;
+            if !count <= max_reported then
+              violations :=
+                { from_ckpt = (i, x_star); to_ckpt = (j, y); tracked = -1 } :: !violations
+          end
+        end
+      done
+    done
+  done;
+  { rdt = !count = 0; violations = List.rev !violations; r_paths_checked = !checked }
+
+let check ?tdv pat =
+  let tdv = match tdv with Some t -> t | None -> Tdv.compute pat in
+  let report = check_with ~trackable:(fun a b -> Tdv.trackable tdv a b) pat in
+  let violations =
+    List.map
+      (fun v ->
+        let i, _ = v.from_ckpt in
+        { v with tracked = (Tdv.at tdv v.to_ckpt).(i) })
+      report.violations
+  in
+  { report with violations }
+
+let check_chains pat = check_with ~trackable:(fun a b -> Chains.trackable pat a b) pat
+
+let check_doubling pat =
+  let tdv = Tdv.compute pat in
+  let cm = Chains.cm_paths pat in
+  let undoubled = Chains.undoubled_cm_paths pat tdv in
+  let violations =
+    List.filteri
+      (fun k _ -> k < max_reported)
+      (List.map
+         (fun (p : Chains.cm_path) ->
+           let i, _ = p.origin in
+           { from_ckpt = p.origin; to_ckpt = p.target; tracked = (Tdv.at tdv p.target).(i) })
+         undoubled)
+  in
+  { rdt = undoubled = []; violations; r_paths_checked = List.length cm }
+
+let strict_gaps pat =
+  let n = Pattern.n pat in
+  let gaps = ref 0 in
+  for i = 0 to n - 1 do
+    for x = 1 to Pattern.last_index pat i do
+      let zr = Chains.zpath_from_interval pat (i, x) in
+      let cr = Chains.causal_from_interval pat (i, x) in
+      for j = 0 to n - 1 do
+        if
+          j <> i
+          && zr.Chains.earliest.(j) < max_int
+          && not (cr.Chains.earliest.(j) <= zr.Chains.earliest.(j))
+        then incr gaps
+      done
+    done
+  done;
+  !gaps
+
+let online_tdv_consistent pat =
+  let tdv = Tdv.compute pat in
+  let ok = ref true in
+  Pattern.iter_ckpts pat (fun c ->
+      match c.Ptypes.tdv with
+      | None -> ()
+      | Some online -> if online <> Tdv.at tdv (c.Ptypes.owner, c.Ptypes.index) then ok := false);
+  !ok

@@ -1,0 +1,28 @@
+(** Control information piggybacked on application messages.
+
+    Each protocol family piggybacks a different amount of control data;
+    the constructors below cover the whole hierarchy studied in the paper:
+    nothing (event-pattern protocols), a transitive dependency vector
+    (FDI, FDAS), the vector plus the boolean [causal] matrix (the two
+    lighter variants of Section 5.1), or the full vector + [simple] array +
+    [causal] matrix of the main protocol.
+
+    Payloads are immutable snapshots: the sender deep-copies its state at
+    send time, exactly as a real implementation would serialize it. *)
+
+type t =
+  | Nothing
+  | Tdv of int array
+  | Tdv_causal of { tdv : int array; causal : bool array array }
+  | Full of { tdv : int array; simple : bool array; causal : bool array array }
+
+val tdv : t -> int array option
+(** The piggybacked dependency vector, if any (not copied). *)
+
+val bits : t -> int
+(** Size of the payload in bits, counting 32 bits per vector entry and one
+    bit per boolean — the overhead metric of Section 5.2. *)
+
+val copy_matrix : bool array array -> bool array array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+let new_dep ~tdv ~m_tdv =
+  let n = Array.length tdv in
+  let rec loop k = k < n && (m_tdv.(k) > tdv.(k) || loop (k + 1)) in
+  loop 0
+
+let c1 ~sent_to ~tdv ~m_tdv ~m_causal =
+  let n = Array.length tdv in
+  let rec some_k j k =
+    k < n && ((m_tdv.(k) > tdv.(k) && not m_causal.(k).(j)) || some_k j (k + 1))
+  in
+  let rec some_j j = j < n && ((sent_to.(j) && some_k j 0) || some_j (j + 1)) in
+  some_j 0
+
+let c2 ~pid ~tdv ~m_tdv ~m_simple = m_tdv.(pid) = tdv.(pid) && not m_simple.(pid)
+
+let c2' ~pid ~tdv ~m_tdv = m_tdv.(pid) = tdv.(pid) && new_dep ~tdv ~m_tdv
+
+let c_fdas ~after_first_send ~tdv ~m_tdv = after_first_send && new_dep ~tdv ~m_tdv
+
+let c_fdi ~tdv ~m_tdv = new_dep ~tdv ~m_tdv

@@ -1,0 +1,33 @@
+(** The forced-checkpoint predicates, as pure functions.
+
+    Separating the predicates from the protocol state machines lets the
+    test suite check the generality hierarchy of Section 5.2 directly:
+    [C1 \/ C2  =>  C1 \/ C2'  =>  C_FDAS  =>  C_FDI] at every delivery, so
+    the main protocol never forces a checkpoint FDAS would not also force.
+
+    Naming follows the paper; all predicates are evaluated at a receiver
+    [P_i] about to deliver a message [m]:
+    - [new_dep]: [exists k, m.tdv.(k) > tdv.(k)] — [m] brings a dependency
+      on a checkpoint interval the receiver did not know about;
+    - [c1]: some non-causal message chain through [P_i], with no causal
+      sibling known to the sender, would be created (Section 4.1.1);
+    - [c2]: some non-causal chain from a [C_{k,z}] back to [C_{k,z-1}],
+      breakable only by [P_i], would be created (Section 4.1.2);
+    - [c2']: the first weaker variant of [c2] (Section 5.1), suggested by
+      Y.-M. Wang: a causal chain returned to its own interval while
+      carrying any new dependency;
+    - [c_fdas]: Wang's Fixed-Dependency-After-Send test;
+    - [c_fdi]: the Fixed-Dependency-Interval test (no send condition). *)
+
+val new_dep : tdv:int array -> m_tdv:int array -> bool
+
+val c1 :
+  sent_to:bool array -> tdv:int array -> m_tdv:int array -> m_causal:bool array array -> bool
+
+val c2 : pid:int -> tdv:int array -> m_tdv:int array -> m_simple:bool array -> bool
+
+val c2' : pid:int -> tdv:int array -> m_tdv:int array -> bool
+
+val c_fdas : after_first_send:bool -> tdv:int array -> m_tdv:int array -> bool
+
+val c_fdi : tdv:int array -> m_tdv:int array -> bool

@@ -1,0 +1,195 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+module Channel = Rdt_dist.Channel
+module Event_queue = Rdt_dist.Event_queue
+module Pattern = Rdt_pattern.Pattern
+module Ptypes = Rdt_pattern.Types
+
+type config = {
+  n : int;
+  seed : int;
+  env : Env.t;
+  protocol : Protocol.t;
+  channel : Channel.spec;
+  basic_period : int * int;
+  max_messages : int;
+  max_time : int;
+}
+
+let default_config env protocol =
+  {
+    n = 8;
+    seed = 1;
+    env;
+    protocol;
+    channel = Channel.Uniform (5, 100);
+    basic_period = (300, 700);
+    max_messages = 2000;
+    max_time = max_int / 2;
+  }
+
+type result = {
+  pattern : Pattern.t;
+  metrics : Metrics.t;
+  predicate_counts : (string * int) list;
+  hierarchy_violations : (string * string) list;
+}
+
+(* Implications expected among the named predicates (weaker => stronger in
+   the sense of Section 5.2: a less conservative test implies the more
+   conservative one). *)
+let expected_implications =
+  [ ("c1", "c_fdas"); ("c2", "c2'"); ("c2", "c_fdas"); ("c2'", "c_fdas"); ("c_fdas", "c_fdi") ]
+
+type queued =
+  | Tick of int
+  | Basic of int
+  | Arrival of { dst : int; src : int; handle : int; payload : Control.t }
+
+let validate_config cfg =
+  if cfg.n < 2 then invalid_arg "Runtime: n must be >= 2";
+  if cfg.max_messages < 0 then invalid_arg "Runtime: negative message budget";
+  (match Channel.validate cfg.channel with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Runtime: bad channel spec: " ^ e));
+  let lo, hi = cfg.basic_period in
+  if lo < 0 || hi < lo then invalid_arg "Runtime: bad basic period"
+
+let run cfg =
+  validate_config cfg;
+  let (module P : Protocol.S) = cfg.protocol in
+  let (module E : Env.S) = cfg.env in
+  let rng = Rng.create cfg.seed in
+  let env_rng = Rng.split rng in
+  let env = E.create ~n:cfg.n ~rng:env_rng in
+  let states = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~pid) in
+  let builder = Pattern.Builder.create ~n:cfg.n in
+  let queue : queued Event_queue.t = Event_queue.create () in
+  let interval_events = Array.make cfg.n 0 in
+  let basic = ref 0
+  and basic_skipped = ref 0
+  and forced = ref 0
+  and sent = ref 0
+  and internal_events = ref 0
+  and now = ref 0 in
+  let pred_counts : (string, int ref) Hashtbl.t = Hashtbl.create 7 in
+  let violations : (string * string, unit) Hashtbl.t = Hashtbl.create 7 in
+  let take_checkpoint pid kind =
+    let snapshot = P.tdv states.(pid) in
+    ignore (Pattern.Builder.checkpoint ~kind ?tdv:snapshot ~time:!now builder pid);
+    P.on_checkpoint states.(pid);
+    interval_events.(pid) <- 0
+  in
+  (* Initial checkpoints: the builder records them automatically at
+     creation; mirror them in the protocol states. *)
+  Array.iter P.on_checkpoint states;
+  let basic_enabled = cfg.basic_period <> (0, 0) in
+  let draw_basic_delay () =
+    let lo, hi = cfg.basic_period in
+    Rng.int_in rng lo hi
+  in
+  let send_message ~src ~dst =
+    if !sent < cfg.max_messages && src <> dst then begin
+      incr sent;
+      let payload = P.make_payload states.(src) ~dst in
+      let handle = Pattern.Builder.send builder ~src ~dst in
+      interval_events.(src) <- interval_events.(src) + 1;
+      let delay = Channel.sample rng cfg.channel in
+      Event_queue.schedule queue ~time:(!now + delay) (Arrival { dst; src; handle; payload });
+      if P.force_after_send then begin
+        incr forced;
+        take_checkpoint src Ptypes.Forced
+      end
+    end
+  in
+  let do_action pid = function
+    | Env.Send dst -> send_message ~src:pid ~dst
+    | Env.Internal ->
+        Pattern.Builder.internal builder pid;
+        interval_events.(pid) <- interval_events.(pid) + 1;
+        incr internal_events
+    | Env.Checkpoint ->
+        if interval_events.(pid) > 0 then begin
+          incr basic;
+          take_checkpoint pid Ptypes.Basic
+        end
+        else incr basic_skipped
+  in
+  (* Prime the queue. *)
+  for pid = 0 to cfg.n - 1 do
+    Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (Tick pid);
+    if basic_enabled then Event_queue.schedule queue ~time:(draw_basic_delay ()) (Basic pid)
+  done;
+  let record_predicates ~dst ~src payload =
+    let named = P.predicates states.(dst) ~src payload in
+    match named with
+    | [] -> ()
+    | _ ->
+        List.iter
+          (fun (name, v) ->
+            if v then
+              match Hashtbl.find_opt pred_counts name with
+              | Some r -> incr r
+              | None -> Hashtbl.add pred_counts name (ref 1))
+          named;
+        List.iter
+          (fun (weaker, stronger) ->
+            match (List.assoc_opt weaker named, List.assoc_opt stronger named) with
+            | Some true, Some false -> Hashtbl.replace violations (weaker, stronger) ()
+            | _ -> ())
+          expected_implications
+  in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        now := t;
+        match ev with
+        | Tick pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              let { Env.actions; next_tick_in } = E.on_tick env ~pid in
+              List.iter (do_action pid) actions;
+              match next_tick_in with
+              | Some d -> Event_queue.schedule queue ~time:(t + max 1 d) (Tick pid)
+              | None -> ()
+            end
+        | Basic pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              do_action pid Env.Checkpoint;
+              Event_queue.schedule queue ~time:(t + draw_basic_delay ()) (Basic pid)
+            end
+        | Arrival { dst; src; handle; payload } ->
+            record_predicates ~dst ~src payload;
+            if P.must_force states.(dst) ~src payload then begin
+              incr forced;
+              take_checkpoint dst Ptypes.Forced
+            end;
+            P.absorb states.(dst) ~src payload;
+            Pattern.Builder.recv builder handle;
+            interval_events.(dst) <- interval_events.(dst) + 1;
+            let reactions = E.on_deliver env ~pid:dst ~src in
+            List.iter (do_action dst) reactions)
+  done;
+  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let metrics =
+    {
+      Metrics.n = cfg.n;
+      protocol = P.name;
+      environment = E.name;
+      seed = cfg.seed;
+      basic = !basic;
+      basic_skipped = !basic_skipped;
+      forced = !forced;
+      messages = !sent;
+      internal_events = !internal_events;
+      payload_bits_per_msg = P.payload_bits ~n:cfg.n;
+      duration = !now;
+    }
+  in
+  let predicate_counts =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let hierarchy_violations = Hashtbl.fold (fun k () acc -> k :: acc) violations [] in
+  { pattern; metrics; predicate_counts; hierarchy_violations }

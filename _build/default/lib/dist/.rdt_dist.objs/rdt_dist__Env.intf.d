@@ -1,0 +1,1 @@
+lib/dist/env.mli: Rng

@@ -1,0 +1,1 @@
+lib/dist/event_queue.mli:

@@ -1,0 +1,1 @@
+lib/dist/heap.ml: Array

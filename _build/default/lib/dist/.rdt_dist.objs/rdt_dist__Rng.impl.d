@@ -1,0 +1,1 @@
+lib/dist/rng.ml: Array Float Int64

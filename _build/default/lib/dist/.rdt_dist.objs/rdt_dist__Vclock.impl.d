@@ -1,0 +1,1 @@
+lib/dist/vclock.ml: Array Format Stdlib

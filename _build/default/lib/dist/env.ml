@@ -1,0 +1,20 @@
+type action =
+  | Send of int
+  | Internal
+  | Checkpoint
+
+type tick_result = { actions : action list; next_tick_in : int option }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : n:int -> rng:Rng.t -> t
+  val initial_tick_delay : t -> pid:int -> int
+  val on_tick : t -> pid:int -> tick_result
+  val on_deliver : t -> pid:int -> src:int -> action list
+end
+
+type t = (module S)
+
+let no_reaction _ ~pid:_ ~src:_ = []

@@ -1,0 +1,50 @@
+(** Application environments.
+
+    An environment drives the *application* side of a simulated
+    computation: which process sends to which, when, and how it reacts to
+    deliveries.  Checkpointing concerns are kept out of this interface — a
+    communication-induced checkpointing protocol observes the resulting
+    communication pattern and injects forced checkpoints, while basic
+    checkpoints are scheduled independently by the runtime (as in the
+    paper, where processes take basic checkpoints on their own).
+
+    Environments may nevertheless request extra basic checkpoints with
+    [Checkpoint] (e.g. to model an application that checkpoints at phase
+    boundaries). *)
+
+type action =
+  | Send of int  (** send an application message to this destination *)
+  | Internal  (** a purely local event *)
+  | Checkpoint  (** take a basic (application-requested) checkpoint *)
+
+type tick_result = {
+  actions : action list;  (** performed now, in order *)
+  next_tick_in : int option;
+      (** delay until this process's next spontaneous activity; [None]
+          stops spontaneous activity for the process *)
+}
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val create : n:int -> rng:Rng.t -> t
+  (** A fresh environment state over processes [0 .. n-1].  All the
+      environment's randomness must come from [rng]. *)
+
+  val initial_tick_delay : t -> pid:int -> int
+  (** Delay before the first spontaneous activity of [pid]. *)
+
+  val on_tick : t -> pid:int -> tick_result
+  (** Spontaneous activity of [pid]. *)
+
+  val on_deliver : t -> pid:int -> src:int -> action list
+  (** Reaction of [pid] to an application message from [src] (e.g. a
+      server forwarding a request or sending a reply). *)
+end
+
+type t = (module S)
+
+val no_reaction : 'a -> pid:int -> src:int -> action list
+(** Convenience [on_deliver] for environments that never react. *)

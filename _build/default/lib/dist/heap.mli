@@ -1,0 +1,32 @@
+(** Imperative binary min-heap, polymorphic in the element type.
+
+    The ordering is supplied at creation time; elements compare by the
+    given [cmp].  Used by {!Event_queue} and by analysis passes that need a
+    priority queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** Number of elements currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add h x] inserts [x].  Amortised O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}. @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is a snapshot of the contents in unspecified order. *)

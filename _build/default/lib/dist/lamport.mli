@@ -1,0 +1,19 @@
+(** Lamport scalar logical clocks.
+
+    Provided as part of the logical-time substrate; used by tests and by
+    trace analyses that only need a total order consistent with causality. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current clock value. *)
+
+val tick : t -> int
+(** [tick c] advances the clock for a local or send event and returns the
+    new value (to be stamped on the event/message). *)
+
+val observe : t -> int -> int
+(** [observe c ts] merges a received timestamp: the clock becomes
+    [max now ts + 1]; returns the new value (the delivery event's stamp). *)

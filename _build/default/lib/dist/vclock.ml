@@ -1,0 +1,47 @@
+type t = int array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Vclock.create: n must be positive";
+  Array.make n 0
+
+let of_array a = Array.copy a
+
+let to_array v = Array.copy v
+
+let copy = Array.copy
+
+let size = Array.length
+
+let get v i = v.(i)
+
+let set v i x =
+  if x < 0 then invalid_arg "Vclock.set: negative entry";
+  v.(i) <- x
+
+let incr v i = v.(i) <- v.(i) + 1
+
+let merge v w =
+  if Array.length v <> Array.length w then invalid_arg "Vclock.merge: size mismatch";
+  for i = 0 to Array.length v - 1 do
+    if w.(i) > v.(i) then v.(i) <- w.(i)
+  done
+
+let leq v w =
+  if Array.length v <> Array.length w then invalid_arg "Vclock.leq: size mismatch";
+  let rec loop i = i >= Array.length v || (v.(i) <= w.(i) && loop (i + 1)) in
+  loop 0
+
+let equal v w = v = w
+
+let lt v w = leq v w && not (equal v w)
+
+let concurrent v w = (not (leq v w)) && not (leq w v)
+
+let compare = Stdlib.compare
+
+let pp ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_list v)

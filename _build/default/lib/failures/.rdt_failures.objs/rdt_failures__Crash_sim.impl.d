@@ -1,0 +1,1 @@
+lib/failures/crash_sim.ml: Array Hashtbl List Rdt_core Rdt_dist Rdt_pattern

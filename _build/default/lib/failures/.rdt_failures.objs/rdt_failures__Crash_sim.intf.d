@@ -1,0 +1,1 @@
+lib/failures/crash_sim.mli: Rdt_core Rdt_dist Rdt_pattern

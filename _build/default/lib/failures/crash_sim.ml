@@ -1,0 +1,429 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+module Channel = Rdt_dist.Channel
+module Event_queue = Rdt_dist.Event_queue
+module Pattern = Rdt_pattern.Pattern
+module Ptypes = Rdt_pattern.Types
+module Protocol = Rdt_core.Protocol
+
+type crash = { victim : int; at : int; repair_delay : int }
+
+type config = {
+  n : int;
+  seed : int;
+  env : Env.t;
+  protocol : Protocol.t;
+  channel : Channel.spec;
+  basic_period : int * int;
+  max_messages : int;
+  max_time : int;
+  crashes : crash list;
+}
+
+let default_config env protocol =
+  {
+    n = 8;
+    seed = 1;
+    env;
+    protocol;
+    channel = Channel.Uniform (5, 100);
+    basic_period = (300, 700);
+    max_messages = 2000;
+    max_time = max_int / 2;
+    crashes = [];
+  }
+
+type recovery = {
+  crash : crash;
+  line : int array;
+  events_undone : int;
+  checkpoints_undone : int;
+  messages_undone : int;
+  messages_replayed : int;
+}
+
+type metrics = {
+  messages_delivered : int;
+  basic : int;
+  forced : int;
+  duration : int;
+  total_events_undone : int;
+  total_messages_replayed : int;
+}
+
+type result = { pattern : Pattern.t; recoveries : recovery list; metrics : metrics }
+
+(* ------------------------------------------------------------------ *)
+(* Internal trace                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type msg_status =
+  | Flight  (** sent, arrival pending in the channel *)
+  | Delivered
+  | Dead  (** its send was rolled back; never to be delivered *)
+  | Replay  (** delivered once, delivery rolled back; awaiting replay *)
+
+type msg = {
+  m_id : int;
+  m_src : int;
+  m_dst : int;
+  m_send_interval : int;
+  m_payload : Rdt_core.Control.t;
+  mutable m_recv_interval : int; (* -1 until (re)delivered *)
+  mutable m_status : msg_status;
+}
+
+type ckpt_meta = {
+  c_index : int;
+  c_kind : Ptypes.ckpt_kind;
+  c_time : int;
+  c_tdv : int array option; (* TDV_{i,x}: the vector saved *before* the bump *)
+  c_restore : unit -> unit; (* re-install a fresh copy of the protocol state *)
+}
+
+type tev =
+  | B_send of int (* msg id *)
+  | B_recv of int
+  | B_internal
+  | B_ckpt of ckpt_meta
+
+type queued =
+  | Tick of int * int (* pid, timer epoch *)
+  | Basic of int * int
+  | Crash of crash
+  | Repair of crash
+  | Arrival of int (* msg id *)
+
+let validate cfg =
+  if cfg.n < 2 then invalid_arg "Crash_sim: n must be >= 2";
+  (match Channel.validate cfg.channel with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Crash_sim: bad channel spec: " ^ e));
+  let per_pid = Hashtbl.create 7 in
+  List.iter
+    (fun c ->
+      if c.victim < 0 || c.victim >= cfg.n then invalid_arg "Crash_sim: victim out of range";
+      if c.at < 0 then invalid_arg "Crash_sim: negative crash time";
+      if c.repair_delay < 1 then invalid_arg "Crash_sim: repair_delay must be >= 1";
+      (match Hashtbl.find_opt per_pid c.victim with
+      | Some previous_end when c.at < previous_end ->
+          invalid_arg "Crash_sim: overlapping crashes of the same process"
+      | Some _ | None -> ());
+      Hashtbl.replace per_pid c.victim (c.at + c.repair_delay))
+    (List.sort (fun a b -> compare a.at b.at) cfg.crashes)
+
+let run cfg =
+  validate cfg;
+  let (module P : Protocol.S) = cfg.protocol in
+  let (module E : Env.S) = cfg.env in
+  let rng = Rng.create cfg.seed in
+  let env = E.create ~n:cfg.n ~rng:(Rng.split rng) in
+  let states = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~pid) in
+  let queue : queued Event_queue.t = Event_queue.create () in
+  let now = ref 0 in
+  let stamp = ref 0 in
+  let next_stamp () = incr stamp; !stamp in
+  (* per-process trace, most recent first, with global stamps *)
+  let traces : (int * tev) list array = Array.make cfg.n [] in
+  let ckpt_count = Array.make cfg.n 0 in
+  let interval_events = Array.make cfg.n 0 in
+  let crashed = Array.make cfg.n false in
+  (* timer epochs: bumped at each crash so that timer events scheduled
+     before the crash are discarded, and fresh streams start at repair *)
+  let epoch = Array.make cfg.n 0 in
+  let buffers : int list array = Array.make cfg.n [] (* arrivals while down, reversed *) in
+  let msgs : msg option array ref = ref (Array.make 256 None) in
+  let n_msgs = ref 0 in
+  let msg id = match !msgs.(id) with Some m -> m | None -> assert false in
+  let basic = ref 0 and forced = ref 0 in
+  let recoveries = ref [] in
+  let basic_enabled = cfg.basic_period <> (0, 0) in
+  let draw_basic () =
+    let lo, hi = cfg.basic_period in
+    Rng.int_in rng lo hi
+  in
+  let push_trace pid ev = traces.(pid) <- (next_stamp (), ev) :: traces.(pid) in
+  let take_checkpoint pid kind =
+    let index = ckpt_count.(pid) in
+    let tdv = P.tdv states.(pid) in
+    P.on_checkpoint states.(pid);
+    let saved = P.copy states.(pid) in
+    let meta =
+      {
+        c_index = index;
+        c_kind = kind;
+        c_time = !now;
+        c_tdv = tdv;
+        c_restore = (fun () -> states.(pid) <- P.copy saved);
+      }
+    in
+    push_trace pid (B_ckpt meta);
+    ckpt_count.(pid) <- index + 1;
+    interval_events.(pid) <- 0
+  in
+  (* initial checkpoints C_{i,0} *)
+  for pid = 0 to cfg.n - 1 do
+    take_checkpoint pid Ptypes.Initial
+  done;
+  let sent = ref 0 in
+  let send_message ~src ~dst =
+    if !sent < cfg.max_messages && src <> dst && not crashed.(src) then begin
+      incr sent;
+      let payload = P.make_payload states.(src) ~dst in
+      let id = !n_msgs in
+      if id = Array.length !msgs then begin
+        let bigger = Array.make (2 * id) None in
+        Array.blit !msgs 0 bigger 0 id;
+        msgs := bigger
+      end;
+      !msgs.(id) <-
+        Some
+          {
+            m_id = id;
+            m_src = src;
+            m_dst = dst;
+            m_send_interval = ckpt_count.(src);
+            m_payload = payload;
+            m_recv_interval = -1;
+            m_status = Flight;
+          };
+      n_msgs := id + 1;
+      push_trace src (B_send id);
+      interval_events.(src) <- interval_events.(src) + 1;
+      Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id);
+      if P.force_after_send then begin
+        incr forced;
+        take_checkpoint src Ptypes.Forced
+      end
+    end
+  in
+  let do_action pid = function
+    | Env.Send dst -> send_message ~src:pid ~dst
+    | Env.Internal ->
+        if not crashed.(pid) then begin
+          push_trace pid B_internal;
+          interval_events.(pid) <- interval_events.(pid) + 1
+        end
+    | Env.Checkpoint ->
+        if not crashed.(pid) then
+          if interval_events.(pid) > 0 then begin
+            incr basic;
+            take_checkpoint pid Ptypes.Basic
+          end
+  in
+  let deliver id =
+    let m = msg id in
+    let dst = m.m_dst in
+    if P.must_force states.(dst) ~src:m.m_src m.m_payload then begin
+      incr forced;
+      take_checkpoint dst Ptypes.Forced
+    end;
+    P.absorb states.(dst) ~src:m.m_src m.m_payload;
+    m.m_status <- Delivered;
+    m.m_recv_interval <- ckpt_count.(dst);
+    push_trace dst (B_recv id);
+    interval_events.(dst) <- interval_events.(dst) + 1;
+    List.iter (do_action dst) (E.on_deliver env ~pid:dst ~src:m.m_src)
+  in
+  (* ---------------- recovery ---------------- *)
+  let last_ckpt_index pid =
+    let rec scan = function
+      | (_, B_ckpt c) :: _ -> c.c_index
+      | _ :: rest -> scan rest
+      | [] -> assert false
+    in
+    scan traces.(pid)
+  in
+  let compute_line bounds =
+    (* maximum consistent vector under [bounds], over surviving delivered
+       messages *)
+    let v = Array.copy bounds in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for id = 0 to !n_msgs - 1 do
+        let m = msg id in
+        if
+          m.m_status = Delivered
+          && m.m_send_interval > v.(m.m_src)
+          && m.m_recv_interval <= v.(m.m_dst)
+        then begin
+          v.(m.m_dst) <- m.m_recv_interval - 1;
+          if v.(m.m_dst) < 0 then invalid_arg "Crash_sim: negative rollback";
+          changed := true
+        end
+      done
+    done;
+    v
+  in
+  let truncate_to pid index stats =
+    (* discard every event after checkpoint [index] of [pid]; returns the
+       kept suffixless trace with the target checkpoint on top *)
+    let undone_sends = ref [] and undone_recvs = ref [] in
+    let rec cut = function
+      | (_, B_ckpt c) :: _ as kept when c.c_index = index ->
+          c.c_restore ();
+          kept
+      | (_, ev) :: rest ->
+          (match ev with
+          | B_send id -> undone_sends := id :: !undone_sends
+          | B_recv id -> undone_recvs := id :: !undone_recvs
+          | B_ckpt _ -> incr (snd stats)
+          | B_internal -> ());
+          incr (fst stats);
+          cut rest
+      | [] -> assert false
+    in
+    traces.(pid) <- cut traces.(pid);
+    ckpt_count.(pid) <- index + 1;
+    interval_events.(pid) <- 0;
+    (!undone_sends, !undone_recvs)
+  in
+  let recover (c : crash) =
+    let pid = c.victim in
+    (* live processes secure their volatile state first *)
+    for q = 0 to cfg.n - 1 do
+      if (not crashed.(q)) && q <> pid && interval_events.(q) > 0 then begin
+        incr forced;
+        take_checkpoint q Ptypes.Forced
+      end
+    done;
+    let bounds = Array.init cfg.n (fun q -> last_ckpt_index q) in
+    (* the victim's bound is its last durable checkpoint, already in
+       [bounds] since its volatile suffix is about to be discarded *)
+    let line = compute_line bounds in
+    let events_undone = ref 0 and ckpts_undone = ref 0 in
+    let all_sends = ref [] and all_recvs = ref [] in
+    for q = 0 to cfg.n - 1 do
+      let s, r = truncate_to q line.(q) (events_undone, ckpts_undone) in
+      all_sends := s @ !all_sends;
+      all_recvs := r @ !all_recvs
+    done;
+    (* classify rolled-back messages *)
+    List.iter (fun id -> (msg id).m_status <- Dead) !all_sends;
+    let replayed = ref 0 in
+    List.iter
+      (fun id ->
+        let m = msg id in
+        if m.m_status <> Dead then begin
+          (* send survived: redeliver from the sender-side log *)
+          m.m_status <- Replay;
+          m.m_recv_interval <- -1;
+          incr replayed;
+          Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
+        end)
+      !all_recvs;
+    (* buffered arrivals for the repaired process re-enter the channel *)
+    List.iter
+      (fun id ->
+        match (msg id).m_status with
+        | Flight | Replay ->
+            Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
+        | Dead | Delivered -> ())
+      (List.rev buffers.(pid));
+    buffers.(pid) <- [];
+    crashed.(pid) <- false;
+    Event_queue.schedule queue ~time:(!now + 1) (Tick (pid, epoch.(pid)));
+    if basic_enabled then
+      Event_queue.schedule queue ~time:(!now + draw_basic ()) (Basic (pid, epoch.(pid)));
+    recoveries :=
+      {
+        crash = c;
+        line;
+        events_undone = !events_undone;
+        checkpoints_undone = !ckpts_undone;
+        messages_undone = List.length !all_sends;
+        messages_replayed = !replayed;
+      }
+      :: !recoveries
+  in
+  (* ---------------- main loop ---------------- *)
+  for pid = 0 to cfg.n - 1 do
+    Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (Tick (pid, 0));
+    if basic_enabled then Event_queue.schedule queue ~time:(draw_basic ()) (Basic (pid, 0))
+  done;
+  List.iter (fun c -> Event_queue.schedule queue ~time:c.at (Crash c)) cfg.crashes;
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        now := t;
+        match ev with
+        | Tick (pid, e) ->
+            if
+              e = epoch.(pid) && (not crashed.(pid)) && t <= cfg.max_time
+              && !sent < cfg.max_messages
+            then begin
+              let { Env.actions; next_tick_in } = E.on_tick env ~pid in
+              List.iter (do_action pid) actions;
+              match next_tick_in with
+              | Some d -> Event_queue.schedule queue ~time:(t + max 1 d) (Tick (pid, e))
+              | None -> ()
+            end
+        | Basic (pid, e) ->
+            if
+              e = epoch.(pid) && (not crashed.(pid)) && t <= cfg.max_time
+              && !sent < cfg.max_messages
+            then begin
+              do_action pid Env.Checkpoint;
+              Event_queue.schedule queue ~time:(t + draw_basic ()) (Basic (pid, e))
+            end
+        | Crash c ->
+            if crashed.(c.victim) then invalid_arg "Crash_sim: victim already down";
+            (* the volatile suffix is lost immediately; we discard it at
+               repair time, which is equivalent since the process does
+               nothing while down *)
+            crashed.(c.victim) <- true;
+            epoch.(c.victim) <- epoch.(c.victim) + 1;
+            Event_queue.schedule queue ~time:(t + c.repair_delay) (Repair c)
+        | Repair c -> recover c
+        | Arrival id -> (
+            let m = msg id in
+            match m.m_status with
+            | Dead -> () (* undone send: the message evaporates *)
+            | Delivered -> () (* stale arrival from before a rollback *)
+            | Flight | Replay ->
+                if crashed.(m.m_dst) then buffers.(m.m_dst) <- id :: buffers.(m.m_dst)
+                else deliver id))
+  done;
+  (* ---------------- final pattern ---------------- *)
+  let builder = Pattern.Builder.create ~n:cfg.n in
+  let all = ref [] in
+  for pid = 0 to cfg.n - 1 do
+    List.iter (fun (s, ev) -> all := (s, pid, ev) :: !all) traces.(pid)
+  done;
+  let ordered = List.sort (fun (a, _, _) (b, _, _) -> compare a b) !all in
+  let handles = Hashtbl.create 97 in
+  let delivered = ref 0 in
+  List.iter
+    (fun (_, pid, ev) ->
+      match ev with
+      | B_internal -> Pattern.Builder.internal builder pid
+      | B_send id ->
+          let m = msg id in
+          Hashtbl.replace handles id (Pattern.Builder.send builder ~src:pid ~dst:m.m_dst)
+      | B_recv id ->
+          incr delivered;
+          Pattern.Builder.recv builder (Hashtbl.find handles id)
+      | B_ckpt c ->
+          if c.c_index > 0 then
+            ignore
+              (Pattern.Builder.checkpoint ~kind:c.c_kind ?tdv:c.c_tdv ~time:c.c_time builder pid))
+    ordered;
+  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let recoveries = List.rev !recoveries in
+  {
+    pattern;
+    recoveries;
+    metrics =
+      {
+        messages_delivered = !delivered;
+        basic = !basic;
+        forced = !forced;
+        duration = !now;
+        total_events_undone = List.fold_left (fun a r -> a + r.events_undone) 0 recoveries;
+        total_messages_replayed =
+          List.fold_left (fun a r -> a + r.messages_replayed) 0 recoveries;
+      };
+  }

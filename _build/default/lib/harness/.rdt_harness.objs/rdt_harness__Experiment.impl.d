@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Rdt_core Rdt_dist Rdt_workloads Stats

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Rdt_core Rdt_dist Stats

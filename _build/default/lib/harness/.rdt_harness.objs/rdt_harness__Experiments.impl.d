@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Experiment Format Hashtbl List Printf Rdt_coordinated Rdt_core Rdt_failures Rdt_pattern Rdt_recovery Rdt_workloads Stats Table

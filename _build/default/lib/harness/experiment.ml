@@ -1,0 +1,85 @@
+module Runtime = Rdt_core.Runtime
+module Protocol = Rdt_core.Protocol
+module Channel = Rdt_dist.Channel
+
+type workload = {
+  name : string;
+  make_env : unit -> Rdt_dist.Env.t;
+  n : int;
+  channel : Channel.spec;
+  basic_period : int * int;
+  max_messages : int;
+}
+
+let workload ?(n = 8) ?(max_messages = 2000) ?(channel = Channel.Uniform (5, 100))
+    ?(basic_period = (300, 700)) ?make_env name =
+  let make_env =
+    match make_env with
+    | Some f -> f
+    | None ->
+        (* validate the name eagerly so misspellings fail at construction *)
+        ignore (Rdt_workloads.Registry.find_exn name);
+        fun () -> Rdt_workloads.Registry.find_exn name
+  in
+  { name; make_env; n; channel; basic_period; max_messages }
+
+let run_once w protocol ~seed =
+  Runtime.run
+    {
+      Runtime.n = w.n;
+      seed;
+      env = w.make_env ();
+      protocol;
+      channel = w.channel;
+      basic_period = w.basic_period;
+      max_messages = w.max_messages;
+      max_time = max_int / 2;
+    }
+
+let verify_rdt (r : Runtime.result) = (Rdt_core.Checker.check r.Runtime.pattern).Rdt_core.Checker.rdt
+
+type aggregate = {
+  forced : Stats.t;
+  basic : Stats.t;
+  messages : Stats.t;
+  forced_per_basic : Stats.t;
+  forced_per_message : Stats.t;
+}
+
+let aggregate w protocol ~seeds =
+  let agg =
+    {
+      forced = Stats.create ();
+      basic = Stats.create ();
+      messages = Stats.create ();
+      forced_per_basic = Stats.create ();
+      forced_per_message = Stats.create ();
+    }
+  in
+  List.iter
+    (fun seed ->
+      let r = run_once w protocol ~seed in
+      let m = r.Runtime.metrics in
+      Stats.add agg.forced (float_of_int m.Rdt_core.Metrics.forced);
+      Stats.add agg.basic (float_of_int m.Rdt_core.Metrics.basic);
+      Stats.add agg.messages (float_of_int m.Rdt_core.Metrics.messages);
+      Stats.add agg.forced_per_basic (Rdt_core.Metrics.forced_per_basic m);
+      Stats.add agg.forced_per_message (Rdt_core.Metrics.forced_per_message m))
+    seeds;
+  agg
+
+let ratio_vs_baseline w protocol ~baseline ~seeds =
+  let stats = Stats.create () in
+  List.iter
+    (fun seed ->
+      let rp = run_once w protocol ~seed in
+      let rb = run_once w baseline ~seed in
+      let fp = rp.Runtime.metrics.Rdt_core.Metrics.forced
+      and fb = rb.Runtime.metrics.Rdt_core.Metrics.forced in
+      if fb > 0 then Stats.add stats (float_of_int fp /. float_of_int fb))
+    seeds;
+  stats
+
+let default_seeds = List.init 10 (fun i -> i + 1)
+
+let quick_seeds = [ 1; 2; 3 ]

@@ -1,0 +1,55 @@
+(** Running and aggregating simulation experiments.
+
+    A {!workload} bundles everything but the protocol and the seed; the
+    figure-level ratio the paper reports — forced checkpoints of a
+    protocol over forced checkpoints of FDAS — is computed {e paired}: the
+    two protocols run on the same workload with the same seed, and the
+    per-seed ratios are aggregated. *)
+
+type workload = {
+  name : string;
+  make_env : unit -> Rdt_dist.Env.t;
+  n : int;
+  channel : Rdt_dist.Channel.spec;
+  basic_period : int * int;
+  max_messages : int;
+}
+
+val workload :
+  ?n:int ->
+  ?max_messages:int ->
+  ?channel:Rdt_dist.Channel.spec ->
+  ?basic_period:int * int ->
+  ?make_env:(unit -> Rdt_dist.Env.t) ->
+  string ->
+  workload
+(** [workload name] builds a workload from the environment registry entry
+    [name] (or [make_env] when supplied) with defaults matching
+    {!Rdt_core.Runtime.default_config}. *)
+
+val run_once : workload -> Rdt_core.Protocol.t -> seed:int -> Rdt_core.Runtime.result
+(** One run.  @raise Invalid_argument on unknown environment names. *)
+
+val verify_rdt : Rdt_core.Runtime.result -> bool
+(** Offline RDT check of the run's pattern. *)
+
+type aggregate = {
+  forced : Stats.t;
+  basic : Stats.t;
+  messages : Stats.t;
+  forced_per_basic : Stats.t;
+  forced_per_message : Stats.t;
+}
+
+val aggregate : workload -> Rdt_core.Protocol.t -> seeds:int list -> aggregate
+
+val ratio_vs_baseline :
+  workload -> Rdt_core.Protocol.t -> baseline:Rdt_core.Protocol.t -> seeds:int list -> Stats.t
+(** Per-seed paired ratio forced(protocol)/forced(baseline); seeds where
+    the baseline forces nothing are skipped. *)
+
+val default_seeds : int list
+(** Seeds used by the shipped experiments: [1..10]. *)
+
+val quick_seeds : int list
+(** [1..3], for smoke-level reproduction runs. *)

@@ -1,0 +1,559 @@
+module Registry = Rdt_core.Registry
+module Runtime = Rdt_core.Runtime
+
+type point = { x : float; stats : Stats.t }
+
+type series = { label : string; points : point list }
+
+type figure = { id : string; title : string; xlabel : string; series : series list }
+
+let fdas = Registry.find_exn "fdas"
+
+let variants = [ "bhmr"; "bhmr-v1"; "bhmr-v2" ]
+
+let print_figure f =
+  Format.printf "@.== %s: %s ==@." f.id f.title;
+  let t =
+    Table.create
+      ~header:(f.xlabel :: List.concat_map (fun s -> [ s.label; "±" ]) f.series)
+  in
+  (match f.series with
+  | [] -> ()
+  | first :: _ ->
+      List.iteri
+        (fun i p ->
+          let cells =
+            List.concat_map
+              (fun s ->
+                let p = List.nth s.points i in
+                [ Table.cell_f (Stats.mean p.stats); Table.cell_f (Stats.ci95_half_width p.stats) ])
+              f.series
+          in
+          t |> fun t -> Table.add_row t (Printf.sprintf "%g" p.x :: cells))
+        first.points);
+  Table.print t
+
+let ratio_series ?(seeds = Experiment.default_seeds) ~label ~xs ~workload_of () =
+  let protocol = Registry.find_exn label in
+  {
+    label;
+    points =
+      List.map
+        (fun x ->
+          let w = workload_of x in
+          { x; stats = Experiment.ratio_vs_baseline w protocol ~baseline:fdas ~seeds })
+        xs;
+  }
+
+let fig_random ?(seeds = Experiment.default_seeds) () =
+  let xs = [ 2.0; 4.0; 8.0; 16.0; 32.0 ] in
+  let workload_of x = Experiment.workload ~n:(int_of_float x) ~max_messages:1500 "random" in
+  {
+    id = "FIG-RANDOM";
+    title = "R = forced/forced(FDAS) in the general random environment";
+    xlabel = "n";
+    series =
+      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+  }
+
+let fig_group ?(seeds = Experiment.default_seeds) () =
+  let xs = [ 2.0; 3.0; 4.0; 6.0 ] in
+  let workload_of x =
+    let params =
+      { Rdt_workloads.Group_env.default_group_params with group_size = int_of_float x }
+    in
+    Experiment.workload ~n:12 ~max_messages:1500
+      ~make_env:(fun () -> Rdt_workloads.Group_env.make ~params ())
+      "group"
+  in
+  {
+    id = "FIG-8";
+    title = "R in overlapping group communication environments (n=12)";
+    xlabel = "group size";
+    series =
+      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+  }
+
+let fig_client_server ?(seeds = Experiment.default_seeds) () =
+  let xs = [ 2.0; 4.0; 8.0; 16.0 ] in
+  let workload_of x =
+    Experiment.workload ~n:(int_of_float x) ~max_messages:1500 "client-server"
+  in
+  {
+    id = "FIG-9";
+    title = "R in client/server environments";
+    xlabel = "n servers";
+    series =
+      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+  }
+
+let lost_work_fraction pat =
+  (* crash process 0 at 60% of the run: restart from its last durable
+     checkpoint before that instant *)
+  let duration =
+    Rdt_pattern.Pattern.fold_ckpts pat ~init:0 ~f:(fun acc c ->
+        max acc c.Rdt_pattern.Types.time)
+  in
+  let crash_time = duration * 6 / 10 in
+  let available = ref 0 in
+  Array.iter
+    (fun (c : Rdt_pattern.Types.ckpt) ->
+      if c.kind <> Rdt_pattern.Types.Final && c.time <= crash_time then available := c.index)
+    (Rdt_pattern.Pattern.checkpoints pat 0);
+  let outcome =
+    Rdt_recovery.Recovery_line.recover pat
+      [ { Rdt_recovery.Recovery_line.pid = 0; available = !available } ]
+  in
+  let lost =
+    Array.fold_left ( + ) 0 outcome.Rdt_recovery.Recovery_line.lost_events
+  in
+  let total =
+    let t = ref 0 in
+    for i = 0 to Rdt_pattern.Pattern.n pat - 1 do
+      t := !t + Array.length (Rdt_pattern.Pattern.events pat i)
+    done;
+    !t
+  in
+  float_of_int lost /. float_of_int (max 1 total)
+
+let fig_lost_work ?(seeds = Experiment.default_seeds) () =
+  let periods = [ (100, 200); (300, 700); (800, 1600); (2000, 4000) ] in
+  let series_of pname =
+    let protocol = Registry.find_exn pname in
+    {
+      label = pname;
+      points =
+        List.map
+          (fun (lo, hi) ->
+            let w =
+              Experiment.workload ~n:6 ~max_messages:1200 ~basic_period:(lo, hi) "random"
+            in
+            let stats = Stats.create () in
+            List.iter
+              (fun seed ->
+                let r = Experiment.run_once w protocol ~seed in
+                Stats.add stats (lost_work_fraction r.Runtime.pattern))
+              seeds;
+            { x = float_of_int (lo + hi) /. 2.0; stats })
+          periods;
+    }
+  in
+  {
+    id = "FIG-LOST-WORK";
+    title = "fraction of events undone by a crash at 60% of the run (random, n=6)";
+    xlabel = "mean basic period";
+    series = List.map series_of [ "none"; "bcs"; "bhmr" ];
+  }
+
+let hierarchy = [ "cbr"; "nras"; "cas"; "fdi"; "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ]
+
+let environments = [ "random"; "group"; "client-server"; "prodcons"; "master-worker"; "stencil" ]
+
+let table_protocols ?(seeds = Experiment.default_seeds) () =
+  let t = Table.create ~header:("protocol" :: environments) in
+  List.iter
+    (fun pname ->
+      let protocol = Registry.find_exn pname in
+      let cells =
+        List.map
+          (fun ename ->
+            let w = Experiment.workload ~n:8 ~max_messages:1500 ename in
+            let agg = Experiment.aggregate w protocol ~seeds in
+            Table.cell_f (100.0 *. Stats.mean agg.Experiment.forced_per_basic))
+          environments
+      in
+      Table.add_row t (pname :: cells))
+    hierarchy;
+  t
+
+let table_overhead ?(ns = [ 2; 4; 8; 16; 32; 64 ]) () =
+  let t =
+    Table.create ~header:("protocol" :: List.map (fun n -> Printf.sprintf "n=%d" n) ns)
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        (Rdt_core.Protocol.name p
+        :: List.map
+             (fun n -> string_of_int (Rdt_core.Protocol.payload_bits p ~n))
+             ns))
+    Registry.all;
+  t
+
+let claim_environments =
+  [
+    ("random (n=4)", fun () -> Experiment.workload ~n:4 ~max_messages:1500 "random");
+    ( "group pairs (n=12)",
+      fun () ->
+        let params =
+          { Rdt_workloads.Group_env.default_group_params with group_size = 2; multicast_prob = 0.0 }
+        in
+        Experiment.workload ~n:12 ~max_messages:1500
+          ~make_env:(fun () -> Rdt_workloads.Group_env.make ~params ())
+          "group" );
+    ("client-server (n=8)", fun () -> Experiment.workload ~n:8 ~max_messages:1500 "client-server");
+    ("master-worker (n=8)", fun () -> Experiment.workload ~n:8 ~max_messages:1500 "master-worker");
+  ]
+
+let claim_ten_percent ?(seeds = Experiment.default_seeds) () =
+  let bhmr = Registry.find_exn "bhmr" in
+  List.map
+    (fun (label, mk) ->
+      let stats = Experiment.ratio_vs_baseline (mk ()) bhmr ~baseline:fdas ~seeds in
+      (label, 1.0 -. Stats.mean stats))
+    claim_environments
+
+let table_min_gcp ?(seeds = Experiment.quick_seeds) () =
+  let bhmr = Registry.find_exn "bhmr" in
+  let t =
+    Table.create ~header:[ "environment"; "ckpts checked"; "TDV = min GCP"; "mean span" ]
+  in
+  List.iter
+    (fun ename ->
+      let w = Experiment.workload ~n:6 ~max_messages:600 ename in
+      let checked = ref 0 and agree = ref 0 in
+      let span = Stats.create () in
+      List.iter
+        (fun seed ->
+          let r = Experiment.run_once w bhmr ~seed in
+          let pat = r.Runtime.pattern in
+          let tdv = Rdt_pattern.Tdv.compute pat in
+          Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
+              let id = (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) in
+              let online = Rdt_pattern.Tdv.at tdv id in
+              incr checked;
+              (match Rdt_pattern.Consistency.min_consistent_containing pat [ id ] with
+              | Some v when v = Array.copy online -> incr agree
+              | Some _ | None -> ());
+              let _, x = id in
+              Array.iteri
+                (fun j y ->
+                  if j <> fst id then
+                    Stats.add span (float_of_int (min x (Rdt_pattern.Pattern.last_index pat j) - y)))
+                online))
+        seeds;
+      Table.add_row t
+        [
+          ename;
+          string_of_int !checked;
+          Table.cell_pct (float_of_int !agree /. float_of_int (max 1 !checked));
+          Table.cell_f (Stats.mean span);
+        ])
+    environments;
+  t
+
+let table_ablation ?(seeds = Experiment.default_seeds) () =
+  let t =
+    Table.create
+      ~header:
+        [ "protocol"; "forced"; "R vs fdas"; "c1 fires"; "c2 fires"; "c2' fires"; "c_fdas fires" ]
+  in
+  let w = Experiment.workload ~n:8 ~max_messages:1500 "client-server" in
+  List.iter
+    (fun pname ->
+      let protocol = Registry.find_exn pname in
+      let forced = Stats.create ()
+      and ratio = Experiment.ratio_vs_baseline w protocol ~baseline:fdas ~seeds in
+      let fires = Hashtbl.create 7 in
+      List.iter
+        (fun seed ->
+          let r = Experiment.run_once w protocol ~seed in
+          Stats.add forced (float_of_int r.Runtime.metrics.Rdt_core.Metrics.forced);
+          List.iter
+            (fun (name, count) ->
+              let cur = try Hashtbl.find fires name with Not_found -> 0 in
+              Hashtbl.replace fires name (cur + count))
+            r.Runtime.predicate_counts)
+        seeds;
+      let avg name =
+        match Hashtbl.find_opt fires name with
+        | None -> "-"
+        | Some total -> Table.cell_f (float_of_int total /. float_of_int (List.length seeds))
+      in
+      Table.add_row t
+        [
+          pname;
+          Table.cell_f (Stats.mean forced);
+          Table.cell_f (Stats.mean ratio);
+          avg "c1";
+          avg "c2";
+          avg "c2'";
+          avg "c_fdas";
+        ])
+    [ "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ];
+  t
+
+let table_recovery ?(seeds = Experiment.quick_seeds) () =
+  let t =
+    Table.create
+      ~header:
+        [ "protocol"; "useless ckpts"; "survivor loss"; "replayed msgs"; "redone events" ]
+  in
+  let w = Experiment.workload ~n:6 ~max_messages:800 "client-server" in
+  List.iter
+    (fun pname ->
+      let protocol = Registry.find_exn pname in
+      let useless = Stats.create ()
+      and survivor_loss = Stats.create ()
+      and replayed = Stats.create ()
+      and redone = Stats.create () in
+      List.iter
+        (fun seed ->
+          let r = Experiment.run_once w protocol ~seed in
+          let pat = r.Runtime.pattern in
+          let total = ref 0 and bad = ref 0 in
+          Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
+              if c.Rdt_pattern.Types.kind <> Rdt_pattern.Types.Final then begin
+                incr total;
+                if
+                  Rdt_pattern.Consistency.useless pat
+                    (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
+                then incr bad
+              end);
+          Stats.add useless (float_of_int !bad /. float_of_int (max 1 !total));
+          (* crash process 0 halfway through its checkpoints *)
+          let crash =
+            [
+              {
+                Rdt_recovery.Recovery_line.pid = 0;
+                available = Rdt_pattern.Pattern.last_index pat 0 / 2;
+              };
+            ]
+          in
+          let outcome = Rdt_recovery.Recovery_line.recover pat crash in
+          let n = Rdt_pattern.Pattern.n pat in
+          for i = 1 to n - 1 do
+            let last = Rdt_pattern.Pattern.last_index pat i in
+            if last > 0 then
+              Stats.add survivor_loss
+                (float_of_int outcome.Rdt_recovery.Recovery_line.rolled_back_ckpts.(i)
+                /. float_of_int last)
+          done;
+          let cost = Rdt_recovery.Message_log.replay_cost pat ~crash in
+          Stats.add replayed (float_of_int cost.Rdt_recovery.Message_log.replayed_messages);
+          Stats.add redone (float_of_int cost.Rdt_recovery.Message_log.reexecuted_events))
+        seeds;
+      Table.add_row t
+        [
+          pname;
+          Table.cell_pct (Stats.mean useless);
+          Table.cell_pct (Stats.mean survivor_loss);
+          Table.cell_f (Stats.mean replayed);
+          Table.cell_f (Stats.mean redone);
+        ])
+    [ "none"; "bcs"; "fdas"; "bhmr" ];
+  t
+
+(* A marker message carries a snapshot id: charge 64 bits of control data
+   per marker when comparing against piggybacked overheads. *)
+let marker_bits = 64
+
+let table_coordinated ?(seeds = Experiment.quick_seeds) () =
+  let t =
+    Table.create
+      ~header:
+        [
+          "approach";
+          "checkpoints";
+          "control msgs";
+          "overhead bits/app-msg";
+          "snapshot latency";
+        ]
+  in
+  let n = 8 and max_messages = 1500 in
+  (* coordinated: Chandy-Lamport at the default initiation period *)
+  let ckpts = Stats.create ()
+  and control = Stats.create ()
+  and bits = Stats.create ()
+  and latency = Stats.create () in
+  List.iter
+    (fun seed ->
+      let env = Rdt_workloads.Registry.find_exn "random" in
+      let r =
+        Rdt_coordinated.Snapshot.run
+          { (Rdt_coordinated.Snapshot.default_config env) with n; seed; max_messages }
+      in
+      let m = r.Rdt_coordinated.Snapshot.metrics in
+      Stats.add ckpts
+        (float_of_int (m.Rdt_coordinated.Snapshot.snapshots_completed * n));
+      Stats.add control (float_of_int m.Rdt_coordinated.Snapshot.marker_messages);
+      Stats.add bits
+        (float_of_int (m.Rdt_coordinated.Snapshot.marker_messages * marker_bits)
+        /. float_of_int m.Rdt_coordinated.Snapshot.app_messages);
+      Stats.add latency m.Rdt_coordinated.Snapshot.mean_latency)
+    seeds;
+  Table.add_row t
+    [
+      "chandy-lamport";
+      Table.cell_f (Stats.mean ckpts);
+      Table.cell_f (Stats.mean control);
+      Table.cell_f (Stats.mean bits);
+      Table.cell_f (Stats.mean latency);
+    ];
+  (* Koo-Toueg: blocking two-phase, dependency-directed *)
+  let kt_ckpts = Stats.create ()
+  and kt_control = Stats.create ()
+  and kt_bits = Stats.create ()
+  and kt_latency = Stats.create () in
+  List.iter
+    (fun seed ->
+      let env = Rdt_workloads.Registry.find_exn "random" in
+      let r =
+        Rdt_coordinated.Koo_toueg.run
+          { (Rdt_coordinated.Koo_toueg.default_config env) with n; seed; max_messages }
+      in
+      let m = r.Rdt_coordinated.Koo_toueg.metrics in
+      Stats.add kt_ckpts (float_of_int m.Rdt_coordinated.Koo_toueg.checkpoints_taken);
+      Stats.add kt_control (float_of_int m.Rdt_coordinated.Koo_toueg.control_messages);
+      Stats.add kt_bits
+        (float_of_int (m.Rdt_coordinated.Koo_toueg.control_messages * marker_bits)
+        /. float_of_int m.Rdt_coordinated.Koo_toueg.app_messages);
+      Stats.add kt_latency m.Rdt_coordinated.Koo_toueg.mean_latency)
+    seeds;
+  Table.add_row t
+    [
+      "koo-toueg";
+      Table.cell_f (Stats.mean kt_ckpts);
+      Table.cell_f (Stats.mean kt_control);
+      Table.cell_f (Stats.mean kt_bits);
+      Table.cell_f (Stats.mean kt_latency);
+    ];
+  (* CIC protocols: no control messages; overhead = piggyback *)
+  List.iter
+    (fun pname ->
+      let protocol = Registry.find_exn pname in
+      let w = Experiment.workload ~n ~max_messages "random" in
+      let agg = Experiment.aggregate w protocol ~seeds in
+      Table.add_row t
+        [
+          pname;
+          Table.cell_f (Stats.mean agg.Experiment.forced +. Stats.mean agg.Experiment.basic);
+          "0.000";
+          string_of_int (Rdt_core.Protocol.payload_bits protocol ~n);
+          "-";
+        ])
+    [ "bhmr"; "fdas"; "cbr" ];
+  t
+
+let table_breakeven ?(seeds = Experiment.default_seeds) () =
+  let n = 8 and max_messages = 1500 in
+  let bhmr = Registry.find_exn "bhmr" in
+  let bits_fdas = Rdt_core.Protocol.payload_bits fdas ~n in
+  let bits_bhmr = Rdt_core.Protocol.payload_bits bhmr ~n in
+  let t =
+    Table.create
+      ~header:
+        [
+          "environment";
+          "forced fdas";
+          "forced bhmr";
+          "extra piggyback (bits/msg)";
+          "break-even ckpt size";
+        ]
+  in
+  List.iter
+    (fun ename ->
+      let w = Experiment.workload ~n ~max_messages ename in
+      let af = Experiment.aggregate w fdas ~seeds in
+      let ab = Experiment.aggregate w bhmr ~seeds in
+      let saved = Stats.mean af.Experiment.forced -. Stats.mean ab.Experiment.forced in
+      let extra_bits = float_of_int ((bits_bhmr - bits_fdas) * max_messages) in
+      let breakeven =
+        if saved <= 0.0 then "inf"
+        else
+          let bits = extra_bits /. saved in
+          Printf.sprintf "%.1f KiB" (bits /. 8192.0)
+      in
+      Table.add_row t
+        [
+          ename;
+          Table.cell_f (Stats.mean af.Experiment.forced);
+          Table.cell_f (Stats.mean ab.Experiment.forced);
+          string_of_int (bits_bhmr - bits_fdas);
+          breakeven;
+        ])
+    environments;
+  t
+
+let table_goodput ?(seeds = Experiment.quick_seeds) () =
+  let module CS = Rdt_failures.Crash_sim in
+  let t =
+    Table.create
+      ~header:[ "protocol"; "events undone"; "replayed"; "sends destroyed"; "delivered" ]
+  in
+  let crashes =
+    [
+      { CS.victim = 1; at = 2500; repair_delay = 200 };
+      { CS.victim = 3; at = 5000; repair_delay = 200 };
+      { CS.victim = 1; at = 7500; repair_delay = 200 };
+    ]
+  in
+  List.iter
+    (fun pname ->
+      let protocol = Registry.find_exn pname in
+      let undone = Stats.create ()
+      and replayed = Stats.create ()
+      and destroyed = Stats.create ()
+      and delivered = Stats.create () in
+      List.iter
+        (fun seed ->
+          let env = Rdt_workloads.Registry.find_exn "random" in
+          let r =
+            CS.run
+              {
+                (CS.default_config env protocol) with
+                CS.n = 6;
+                seed;
+                max_messages = 1500;
+                crashes;
+              }
+          in
+          Stats.add undone (float_of_int r.CS.metrics.CS.total_events_undone);
+          Stats.add replayed (float_of_int r.CS.metrics.CS.total_messages_replayed);
+          Stats.add destroyed
+            (float_of_int
+               (List.fold_left (fun a (rc : CS.recovery) -> a + rc.CS.messages_undone) 0
+                  r.CS.recoveries));
+          Stats.add delivered (float_of_int r.CS.metrics.CS.messages_delivered))
+        seeds;
+      Table.add_row t
+        [
+          pname;
+          Table.cell_f (Stats.mean undone);
+          Table.cell_f (Stats.mean replayed);
+          Table.cell_f (Stats.mean destroyed);
+          Table.cell_f (Stats.mean delivered);
+        ])
+    [ "none"; "bcs"; "fdas"; "bhmr"; "cbr" ];
+  t
+
+let run_all ?(quick = false) () =
+  let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
+  print_figure (fig_random ~seeds ());
+  print_figure (fig_group ~seeds ());
+  print_figure (fig_client_server ~seeds ());
+  Format.printf "@.== TAB-PROTOCOLS: forced checkpoints per 100 basic (n=8) ==@.";
+  Table.print (table_protocols ~seeds ());
+  Format.printf "@.== TAB-OVERHEAD: piggyback bits per message ==@.";
+  Table.print (table_overhead ());
+  Format.printf "@.== CLAIM-10PCT: reduction of forced checkpoints vs FDAS ==@.";
+  List.iter
+    (fun (label, reduction) ->
+      Format.printf "  %-22s %5.1f%%  %s@." label (100.0 *. reduction)
+        (if reduction >= 0.10 then "(>= 10%: yes)" else "(>= 10%: no)"))
+    (claim_ten_percent ~seeds ());
+  Format.printf "@.== TAB-MINGCP: Corollary 4.5 (on-the-fly minimum global checkpoint) ==@.";
+  Table.print (table_min_gcp ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.printf "@.== ABLATION: predicate firings per variant (client-server, n=8) ==@.";
+  Table.print (table_ablation ~seeds ());
+  Format.printf "@.== TAB-RECOVERY: useless checkpoints, domino and replay (client-server, n=6) ==@.";
+  Table.print (table_recovery ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.printf
+    "@.== TAB-COORDINATED: coordinated snapshots vs CIC (random, n=8) ==@.";
+  Table.print (table_coordinated ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.printf "@.== BREAK-EVEN: checkpoint size above which bhmr beats fdas in total overhead ==@.";
+  Table.print (table_breakeven ~seeds ());
+  print_figure (fig_lost_work ~seeds ());
+  Format.printf "@.== TAB-GOODPUT: online crash recovery, 3 crashes (random, n=6) ==@.";
+  Table.print (table_goodput ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.print_flush ()

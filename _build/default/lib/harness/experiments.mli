@@ -1,0 +1,96 @@
+(** The shipped experiment suite: one entry per table/figure of the
+    paper's evaluation (see DESIGN.md for the experiment index and
+    EXPERIMENTS.md for paper-vs-measured numbers).
+
+    Every experiment both returns its data and can print a plain-text
+    report.  [R] always denotes the paired ratio
+    forced(protocol) / forced(FDAS) on identical workload and seed. *)
+
+type point = { x : float; stats : Stats.t }
+
+type series = { label : string; points : point list }
+
+type figure = { id : string; title : string; xlabel : string; series : series list }
+
+val print_figure : figure -> unit
+
+(** {1 Figures} *)
+
+val fig_random : ?seeds:int list -> unit -> figure
+(** FIG-RANDOM: R vs number of processes in the general (uniform random)
+    environment, for bhmr, bhmr-v1, bhmr-v2. *)
+
+val fig_group : ?seeds:int list -> unit -> figure
+(** FIG-8: R vs group size in overlapping group communication
+    environments (n = 12). *)
+
+val fig_client_server : ?seeds:int list -> unit -> figure
+(** FIG-9: R vs number of servers in the client-server chain. *)
+
+val fig_lost_work : ?seeds:int list -> unit -> figure
+(** FIG-LOST-WORK (extension): fraction of all executed events undone by
+    a crash of process 0 at 60% of the run, as a function of the mean
+    basic-checkpoint period, for [none], [bcs] and [bhmr] (random
+    workload, n = 6).  Uncoordinated checkpointing wastes its checkpoints
+    (the recovery line ignores them); the protocols keep lost work
+    proportional to the checkpoint period. *)
+
+(** {1 Tables} *)
+
+val table_protocols : ?seeds:int list -> unit -> Table.t
+(** TAB-PROTOCOLS: forced checkpoints per 100 basic checkpoints for every
+    protocol of the hierarchy, in each environment (n = 8). *)
+
+val table_overhead : ?ns:int list -> unit -> Table.t
+(** TAB-OVERHEAD: piggyback size (bits/message) per protocol vs n. *)
+
+val claim_ten_percent : ?seeds:int list -> unit -> (string * float) list
+(** CLAIM-10PCT: per environment, the measured reduction
+    [1 - R(bhmr vs fdas)].  The paper claims at least 10% in its study;
+    see EXPERIMENTS.md for where our reproduction meets it. *)
+
+val table_min_gcp : ?seeds:int list -> unit -> Table.t
+(** TAB-MINGCP: Corollary 4.5 validation — for each environment, the
+    fraction of checkpoints whose on-line TDV equals the brute-force
+    minimum consistent global checkpoint (expected 1.0 under every RDT
+    protocol), and the mean rollback span of that minimum. *)
+
+val table_ablation : ?seeds:int list -> unit -> Table.t
+(** ABLATION: which predicate fires how often, per protocol variant, on
+    the client-server workload — quantifying what each piece of
+    piggybacked knowledge buys. *)
+
+val table_recovery : ?seeds:int list -> unit -> Table.t
+(** TAB-RECOVERY (extension): what the guarantees buy at recovery time.
+    For [none], [bcs], [fdas] and [bhmr] on a chatty workload: the
+    fraction of useless checkpoints (members of no consistent global
+    checkpoint), and — after crashing process 0 in the middle of the run —
+    the fraction of their work the {e survivors} lose, the in-transit
+    messages a logging layer must replay, and the events to re-execute. *)
+
+val table_coordinated : ?seeds:int list -> unit -> Table.t
+(** TAB-COORDINATED (extension): the introduction's contrast between
+    coordinated checkpointing ("at the price of synchronization by means
+    of additional control messages", Chandy-Lamport [3]) and CIC.  On the
+    random workload: checkpoints taken, control messages, and total
+    control overhead (marker traffic vs piggybacked bits) per approach. *)
+
+val table_breakeven : ?seeds:int list -> unit -> Table.t
+(** BREAK-EVEN (extension): when is the protocol's n² piggyback worth it?
+    Total overhead is modelled as [piggyback_bits × messages +
+    checkpoint_cost × forced]; the table reports, per environment (n = 8),
+    the forced-checkpoint savings of bhmr over FDAS, the extra piggyback
+    it pays, and the break-even checkpoint size above which bhmr's total
+    overhead is lower. *)
+
+val table_goodput : ?seeds:int list -> unit -> Table.t
+(** TAB-GOODPUT (extension): online fault tolerance.  Under a fixed plan
+    of three crashes (random workload, n = 6), per protocol: events
+    undone by the rollbacks, messages replayed from logs, messages whose
+    sends were destroyed, and the surviving deliveries — live domino
+    effect versus surgical RDT recovery. *)
+
+(** {1 Everything} *)
+
+val run_all : ?quick:bool -> unit -> unit
+(** Prints every figure and table ([quick] uses 3 seeds instead of 10). *)

@@ -1,0 +1,39 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () = { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let ci95_half_width t =
+  if t.count < 2 then 0.0 else 1.96 *. stddev t /. sqrt (float_of_int t.count)
+
+let min t = if t.count = 0 then invalid_arg "Stats.min: empty" else t.min
+
+let max t = if t.count = 0 then invalid_arg "Stats.max: empty" else t.max
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t
+
+let pp ppf t = Format.fprintf ppf "%.4f ± %.4f (n=%d)" (mean t) (ci95_half_width t) t.count

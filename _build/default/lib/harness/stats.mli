@@ -1,0 +1,33 @@
+(** Streaming statistics accumulator (Welford's algorithm), used to
+    aggregate metrics over seeds. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+
+val ci95_half_width : t -> float
+(** Half-width of the 95% normal-approximation confidence interval on the
+    mean ([1.96 * stddev / sqrt count]); 0 with fewer than two samples. *)
+
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val of_list : float list -> t
+
+val pp : Format.formatter -> t -> unit
+(** ["mean ± ci (n=..)"]. *)

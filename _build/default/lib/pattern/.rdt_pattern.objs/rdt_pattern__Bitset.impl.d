@@ -1,0 +1,1 @@
+lib/pattern/bitset.ml: Bytes Int64 List

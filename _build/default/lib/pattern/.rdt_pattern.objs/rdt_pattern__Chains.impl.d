@@ -1,0 +1,1 @@
+lib/pattern/chains.ml: Array Format Hashtbl List Pattern Printf Tdv Types

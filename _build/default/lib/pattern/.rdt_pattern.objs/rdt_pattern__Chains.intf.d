@@ -1,0 +1,1 @@
+lib/pattern/chains.mli: Format Pattern Tdv Types

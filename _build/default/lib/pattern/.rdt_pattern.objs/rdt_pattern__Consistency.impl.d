@@ -1,0 +1,1 @@
+lib/pattern/consistency.ml: Array List Pattern Printf Types

@@ -1,0 +1,1 @@
+lib/pattern/consistency.mli: Pattern Types

@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Array Format List Printf Types

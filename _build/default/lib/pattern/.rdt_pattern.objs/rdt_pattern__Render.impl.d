@@ -1,0 +1,1 @@
+lib/pattern/render.ml: Array Buffer Pattern Printf String Types

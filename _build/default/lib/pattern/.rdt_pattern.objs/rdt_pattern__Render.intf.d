@@ -1,0 +1,1 @@
+lib/pattern/render.mli: Pattern

@@ -1,0 +1,1 @@
+lib/pattern/rgraph.ml: Array Bitset Buffer List Pattern Printf Types

@@ -1,0 +1,1 @@
+lib/pattern/rgraph.mli: Bitset Pattern Types

@@ -1,0 +1,1 @@
+lib/pattern/tdv.ml: Array Pattern Printf Types

@@ -1,0 +1,1 @@
+lib/pattern/tdv.mli: Pattern Types

@@ -1,0 +1,1 @@
+lib/pattern/types.mli: Format

@@ -1,0 +1,35 @@
+(** Fixed-capacity mutable bitsets.
+
+    Used for dense reachability computations over rollback-dependency
+    graphs, where set-union over 64 nodes at a time is the difference
+    between O(V·E) and O(V·E/64). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty set over the universe [\[0, n)]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val union_into : t -> t -> bool
+(** [union_into dst src] adds every element of [src] to [dst]; returns
+    [true] iff [dst] changed.  @raise Invalid_argument on capacity
+    mismatch. *)
+
+val copy : t -> t
+
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+
+val equal : t -> t -> bool

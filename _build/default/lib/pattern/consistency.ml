@@ -1,0 +1,109 @@
+(* Messages grouped by (src, dst) would save a constant factor, but the
+   fixpoints below touch every message per round anyway; we keep the flat
+   scan and rely on the small number of rounds. *)
+
+let check_vector pat v =
+  if Array.length v <> Pattern.n pat then
+    invalid_arg "Consistency: vector length mismatch";
+  Array.iteri
+    (fun i x ->
+      if x < 0 || x > Pattern.last_index pat i then
+        invalid_arg (Printf.sprintf "Consistency: C(%d,%d) does not exist" i x))
+    v
+
+let orphan pat ~sender:(i, x) ~receiver:(j, y) =
+  let found = ref None in
+  Array.iter
+    (fun (m : Types.message) ->
+      if
+        !found = None && m.Types.src = i && m.Types.dst = j
+        && m.Types.send_interval > x && m.Types.recv_interval <= y
+      then found := Some m.Types.id)
+    (Pattern.messages pat);
+  !found
+
+let consistent_pair pat a b =
+  orphan pat ~sender:a ~receiver:b = None && orphan pat ~sender:b ~receiver:a = None
+
+let consistent_global pat v =
+  check_vector pat v;
+  let ok = ref true in
+  Array.iter
+    (fun (m : Types.message) ->
+      if m.Types.send_interval > v.(m.Types.src) && m.Types.recv_interval <= v.(m.Types.dst)
+      then ok := false)
+    (Pattern.messages pat);
+  !ok
+
+let pin_set pat cks =
+  let pinned = Array.make (Pattern.n pat) (-1) in
+  List.iter
+    (fun (i, x) ->
+      if not (Pattern.has_ckpt pat (i, x)) then
+        invalid_arg (Printf.sprintf "Consistency: C(%d,%d) does not exist" i x);
+      if pinned.(i) >= 0 && pinned.(i) <> x then
+        invalid_arg "Consistency: two checkpoints of the same process in the set";
+      pinned.(i) <- x)
+    cks;
+  pinned
+
+(* Minimum: start from the pinned entries (0 elsewhere) and raise the
+   sender side of each orphan.  An orphan (m sent after C_{i,v_i},
+   delivered before C_{j,v_j}) forces every consistent assignment >= v to
+   satisfy N_i >= send_interval(m), so raising v_i := send_interval m keeps
+   the invariant v <= minimum. *)
+let min_consistent_containing pat cks =
+  let pinned = pin_set pat cks in
+  let n = Pattern.n pat in
+  let v = Array.init n (fun i -> if pinned.(i) >= 0 then pinned.(i) else 0) in
+  let msgs = Pattern.messages pat in
+  let exception Impossible in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (m : Types.message) ->
+          let i = m.Types.src and j = m.Types.dst in
+          if m.Types.send_interval > v.(i) && m.Types.recv_interval <= v.(j) then begin
+            if pinned.(i) >= 0 then raise Impossible;
+            if m.Types.send_interval > Pattern.last_index pat i then raise Impossible;
+            v.(i) <- m.Types.send_interval;
+            changed := true
+          end)
+        msgs
+    done;
+    Some v
+  with Impossible -> None
+
+(* Maximum: start from the last checkpoints (pinned entries fixed) and
+   lower the receiver side of each orphan. *)
+let max_consistent_containing pat cks =
+  let pinned = pin_set pat cks in
+  let n = Pattern.n pat in
+  let v =
+    Array.init n (fun i -> if pinned.(i) >= 0 then pinned.(i) else Pattern.last_index pat i)
+  in
+  let msgs = Pattern.messages pat in
+  let exception Impossible in
+  try
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun (m : Types.message) ->
+          let i = m.Types.src and j = m.Types.dst in
+          if m.Types.send_interval > v.(i) && m.Types.recv_interval <= v.(j) then begin
+            if pinned.(j) >= 0 then raise Impossible;
+            v.(j) <- m.Types.recv_interval - 1;
+            if v.(j) < 0 then raise Impossible;
+            changed := true
+          end)
+        msgs
+    done;
+    Some v
+  with Impossible -> None
+
+let extensible pat cks = min_consistent_containing pat cks <> None
+
+let useless pat c = not (extensible pat [ c ])

@@ -1,0 +1,15 @@
+(** Plain-text space-time diagrams of small patterns.
+
+    One row per process, one column per event (in global-sequence order):
+    [Cx] marks checkpoint [x], [s<id>] a send, [r<id>] a delivery, [.] an
+    internal event.  A message legend follows the grid.  Meant for
+    debugging, documentation, and the CLI's [--draw]. *)
+
+val max_events : int
+(** Patterns with more events than this are refused (200). *)
+
+val ascii : Pattern.t -> (string, string) result
+(** The diagram, or [Error] explaining why the pattern is too large. *)
+
+val ascii_exn : Pattern.t -> string
+(** @raise Invalid_argument when the pattern is too large. *)

@@ -1,0 +1,226 @@
+type node = int
+
+type t = {
+  pat : Pattern.t;
+  offsets : int array; (* offsets.(i) = node id of C_{i,0} *)
+  num_nodes : int;
+  succ : node list array; (* deduplicated adjacency *)
+  edge_count : int;
+  mutable scc_of : int array option; (* node -> scc id *)
+  mutable scc_reach : Bitset.t array option; (* scc id -> reachable node set *)
+  mutable scc_nontrivial : bool array option; (* scc id -> cycle flag *)
+}
+
+let pattern g = g.pat
+
+let num_nodes g = g.num_nodes
+
+let node_of_ckpt g (i, x) =
+  if not (Pattern.has_ckpt g.pat (i, x)) then
+    invalid_arg (Printf.sprintf "Rgraph.node_of_ckpt: C(%d,%d) does not exist" i x);
+  g.offsets.(i) + x
+
+let ckpt_of_node g v =
+  let n = Pattern.n g.pat in
+  let rec find i =
+    if i = n - 1 || g.offsets.(i + 1) > v then (i, v - g.offsets.(i)) else find (i + 1)
+  in
+  if v < 0 || v >= g.num_nodes then invalid_arg "Rgraph.ckpt_of_node: out of range";
+  find 0
+
+let successors g v = g.succ.(v)
+
+let edge_count g = g.edge_count
+
+let build pat =
+  let n = Pattern.n pat in
+  let offsets = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- !total;
+    total := !total + Array.length (Pattern.checkpoints pat i)
+  done;
+  let num_nodes = !total in
+  let raw = Array.make num_nodes [] in
+  (* program-order edges *)
+  for i = 0 to n - 1 do
+    let last = Pattern.last_index pat i in
+    for x = 0 to last - 1 do
+      let v = offsets.(i) + x in
+      raw.(v) <- (v + 1) :: raw.(v)
+    done
+  done;
+  (* message edges: C_{src,send_interval} -> C_{dst,recv_interval} *)
+  Array.iter
+    (fun (m : Types.message) ->
+      let v = offsets.(m.Types.src) + m.Types.send_interval in
+      let w = offsets.(m.Types.dst) + m.Types.recv_interval in
+      raw.(v) <- w :: raw.(v))
+    (Pattern.messages pat);
+  let edge_count = ref 0 in
+  let succ =
+    Array.map
+      (fun l ->
+        let d = List.sort_uniq compare l in
+        edge_count := !edge_count + List.length d;
+        d)
+      raw
+  in
+  {
+    pat;
+    offsets;
+    num_nodes;
+    succ;
+    edge_count = !edge_count;
+    scc_of = None;
+    scc_reach = None;
+    scc_nontrivial = None;
+  }
+
+(* Iterative Tarjan SCC.  SCCs are emitted in reverse topological order of
+   the condensation: when an SCC is completed, all SCCs it can reach have
+   already been emitted — which lets the reachability pass below fill
+   bitsets in emission order. *)
+let compute_scc g =
+  let nv = g.num_nodes in
+  let index = Array.make nv (-1) in
+  let lowlink = Array.make nv 0 in
+  let on_stack = Array.make nv false in
+  let scc_of = Array.make nv (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  let nontrivial = ref [] in
+  (* explicit DFS stack: (node, remaining successors) *)
+  for root = 0 to nv - 1 do
+    if index.(root) < 0 then begin
+      let call = ref [ (root, ref g.succ.(root)) ] in
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      on_stack.(root) <- true;
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: above -> (
+            match !rest with
+            | w :: tl ->
+                rest := tl;
+                if index.(w) < 0 then begin
+                  index.(w) <- !next_index;
+                  lowlink.(w) <- !next_index;
+                  incr next_index;
+                  stack := w :: !stack;
+                  on_stack.(w) <- true;
+                  call := (w, ref g.succ.(w)) :: !call
+                end
+                else if on_stack.(w) then
+                  lowlink.(v) <- min lowlink.(v) index.(w)
+            | [] ->
+                (* finish v *)
+                if lowlink.(v) = index.(v) then begin
+                  let id = !next_scc in
+                  incr next_scc;
+                  let size = ref 0 in
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> assert false
+                    | w :: tl ->
+                        stack := tl;
+                        on_stack.(w) <- false;
+                        scc_of.(w) <- id;
+                        incr size;
+                        if w = v then continue := false
+                  done;
+                  let self_loop = List.mem v g.succ.(v) in
+                  nontrivial := (!size > 1 || self_loop) :: !nontrivial
+                end;
+                call := above;
+                (match above with
+                | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+                | [] -> ()))
+      done
+    end
+  done;
+  let nontrivial = Array.of_list (List.rev !nontrivial) in
+  g.scc_of <- Some scc_of;
+  g.scc_nontrivial <- Some nontrivial;
+  (scc_of, !next_scc, nontrivial)
+
+let ensure_reach g =
+  match (g.scc_of, g.scc_reach) with
+  | Some scc_of, Some reach -> (scc_of, reach)
+  | _ ->
+      let scc_of, num_scc, _ = compute_scc g in
+      let reach = Array.init num_scc (fun _ -> Bitset.create g.num_nodes) in
+      (* Emission order is reverse topological: scc 0 is completed first and
+         can only reach already-numbered SCCs. *)
+      for v = 0 to g.num_nodes - 1 do
+        Bitset.add reach.(scc_of.(v)) v
+      done;
+      (* For each node, union successor SCC sets into its own SCC set, in
+         SCC id order (successors have smaller or equal ids). *)
+      let nodes_by_scc = Array.make num_scc [] in
+      for v = g.num_nodes - 1 downto 0 do
+        nodes_by_scc.(scc_of.(v)) <- v :: nodes_by_scc.(scc_of.(v))
+      done;
+      for id = 0 to num_scc - 1 do
+        List.iter
+          (fun v ->
+            List.iter
+              (fun w ->
+                let wid = scc_of.(w) in
+                if wid <> id then ignore (Bitset.union_into reach.(id) reach.(wid)))
+              g.succ.(v))
+          nodes_by_scc.(id)
+      done;
+      g.scc_reach <- Some reach;
+      (scc_of, reach)
+
+let reachable_set g a =
+  let scc_of, reach = ensure_reach g in
+  reach.(scc_of.(node_of_ckpt g a))
+
+let reaches g a b =
+  let vb = node_of_ckpt g b in
+  Bitset.mem (reachable_set g a) vb
+
+let max_reaching_index g ~from_pid (j, y) =
+  let target = node_of_ckpt g (j, y) in
+  let scc_of, reach = ensure_reach g in
+  let last = Pattern.last_index g.pat from_pid in
+  let reaches_x x = Bitset.mem reach.(scc_of.(g.offsets.(from_pid) + x)) target in
+  (* If C_{i,x} reaches the target then so does every C_{i,x'} with
+     x' < x (via program-order edges), so the predicate is downward closed
+     and the maximum is found by binary search. *)
+  if not (reaches_x 0) then -1
+  else begin
+    let lo = ref 0 and hi = ref last in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if reaches_x mid then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let in_cycle g a =
+  let v = node_of_ckpt g a in
+  (match g.scc_of with None -> ignore (compute_scc g) | Some _ -> ());
+  match (g.scc_of, g.scc_nontrivial) with
+  | Some scc_of, Some nontrivial -> nontrivial.(scc_of.(v))
+  | _ -> assert false
+
+let to_dot g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph rgraph {\n  rankdir=LR;\n";
+  for v = 0 to g.num_nodes - 1 do
+    let i, x = ckpt_of_node g v in
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=\"C(%d,%d)\"];\n" v i x)
+  done;
+  for v = 0 to g.num_nodes - 1 do
+    List.iter (fun w -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" v w)) g.succ.(v)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

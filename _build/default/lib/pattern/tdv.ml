@@ -1,0 +1,44 @@
+type t = {
+  pat : Pattern.t;
+  snapshots : int array array array; (* snapshots.(i).(x) = TDV_{i,x} *)
+  finals : int array array;
+}
+
+let compute pat =
+  let n = Pattern.n pat in
+  let vectors = Array.init n (fun _ -> Array.make n 0) in
+  (* Entry i of P_i's vector is the index of the current interval; it is 0
+     until the initial checkpoint C_{i,0} is taken (first event of each
+     process), after which it is x+1 for the last checkpoint x. *)
+  let snapshots =
+    Array.init n (fun i ->
+        Array.map (fun _ -> [||]) (Pattern.checkpoints pat i))
+  in
+  let payloads = Array.make (Pattern.num_messages pat) [||] in
+  let order = Pattern.events_in_gseq_order pat in
+  Array.iter
+    (fun (i, _pos, ev) ->
+      match ev with
+      | Types.Ckpt x ->
+          snapshots.(i).(x) <- Array.copy vectors.(i);
+          vectors.(i).(i) <- x + 1
+      | Types.Send id -> payloads.(id) <- Array.copy vectors.(i)
+      | Types.Recv id ->
+          let p = payloads.(id) in
+          let v = vectors.(i) in
+          for k = 0 to n - 1 do
+            if p.(k) > v.(k) then v.(k) <- p.(k)
+          done
+      | Types.Internal -> ())
+    order;
+  { pat; snapshots; finals = Array.map Array.copy vectors }
+
+let at t (i, x) =
+  if not (Pattern.has_ckpt t.pat (i, x)) then
+    invalid_arg (Printf.sprintf "Tdv.at: C(%d,%d) does not exist" i x);
+  t.snapshots.(i).(x)
+
+let trackable t (i, x) (j, y) =
+  if i = j then x <= y else (at t (j, y)).(i) >= x
+
+let final t i = t.finals.(i)

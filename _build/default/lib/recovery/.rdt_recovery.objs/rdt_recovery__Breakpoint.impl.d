@@ -1,0 +1,1 @@
+lib/recovery/breakpoint.ml: Array Format List Printf Rdt_pattern String

@@ -1,0 +1,1 @@
+lib/recovery/breakpoint.mli: Format Rdt_pattern

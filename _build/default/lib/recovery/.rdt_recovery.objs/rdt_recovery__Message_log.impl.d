@@ -1,0 +1,1 @@
+lib/recovery/message_log.ml: Array List Printf Rdt_pattern Recovery_line

@@ -1,0 +1,1 @@
+lib/recovery/message_log.mli: Rdt_pattern Recovery_line

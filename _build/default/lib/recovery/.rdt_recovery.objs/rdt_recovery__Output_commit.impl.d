@@ -1,0 +1,1 @@
+lib/recovery/output_commit.ml: Array List Rdt_pattern

@@ -1,0 +1,1 @@
+lib/recovery/output_commit.mli: Rdt_pattern

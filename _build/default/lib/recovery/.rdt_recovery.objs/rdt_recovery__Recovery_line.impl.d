@@ -1,0 +1,1 @@
+lib/recovery/recovery_line.ml: Array Format List Printf Rdt_pattern String

@@ -1,0 +1,1 @@
+lib/recovery/recovery_line.mli: Format Rdt_pattern

@@ -1,0 +1,1 @@
+lib/recovery/storage.ml: Array List Printf Rdt_pattern

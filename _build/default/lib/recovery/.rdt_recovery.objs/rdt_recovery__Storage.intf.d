@@ -1,0 +1,1 @@
+lib/recovery/storage.mli: Rdt_pattern

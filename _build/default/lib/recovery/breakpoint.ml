@@ -1,0 +1,33 @@
+module Pattern = Rdt_pattern.Pattern
+module Types = Rdt_pattern.Types
+module Chains = Rdt_pattern.Chains
+
+type t = { target : Types.ckpt_id; line : int array; on_the_fly : bool }
+
+let compute pat target =
+  let c = Pattern.ckpt pat target in
+  match c.Types.tdv with
+  | Some v when Rdt_pattern.Consistency.consistent_global pat v ->
+      Some { target; line = Array.copy v; on_the_fly = true }
+  | Some _ | None -> (
+      match Rdt_pattern.Consistency.min_consistent_containing pat [ target ] with
+      | Some line -> Some { target; line; on_the_fly = false }
+      | None -> None)
+
+let restore_order pat bp =
+  let cks = Array.to_list (Array.mapi (fun i x -> (i, x)) bp.line) in
+  (* Sort by causal precedence between the line's checkpoints; ties (and
+     concurrent pairs) break on pid for determinism. *)
+  List.sort
+    (fun a b ->
+      if a = b then 0
+      else if Chains.causally_precedes pat a b then -1
+      else if Chains.causally_precedes pat b a then 1
+      else compare a b)
+    cks
+
+let pp ppf bp =
+  Format.fprintf ppf "breakpoint at %a: {%s}%s" Types.pp_ckpt_id bp.target
+    (String.concat "; "
+       (Array.to_list (Array.mapi (fun i x -> Printf.sprintf "C(%d,%d)" i x) bp.line)))
+    (if bp.on_the_fly then " (on the fly)" else " (recomputed)")

@@ -1,0 +1,28 @@
+(** Causal distributed breakpoints (one of the dependability applications
+    of Section 1).
+
+    A causal distributed breakpoint for a target local checkpoint [C] is
+    the earliest global state that includes [C] together with everything
+    [C] causally depends on — i.e. the {e minimum} consistent global
+    checkpoint containing [C].  Under RDT it is read directly off the
+    transitive dependency vector recorded at [C]; this module also
+    cross-checks against the first-principles computation. *)
+
+type t = {
+  target : Rdt_pattern.Types.ckpt_id;
+  line : int array;  (** checkpoint index per process *)
+  on_the_fly : bool;
+      (** [true] when the line came from the recorded TDV (O(1)); [false]
+          when it had to be recomputed by fixpoint *)
+}
+
+val compute : Rdt_pattern.Pattern.t -> Rdt_pattern.Types.ckpt_id -> t option
+(** [None] when no consistent global checkpoint contains the target (can
+    happen only without RDT, e.g. a Z-cycle through the target). *)
+
+val restore_order : Rdt_pattern.Pattern.t -> t -> Rdt_pattern.Types.ckpt_id list
+(** The breakpoint's checkpoints, sorted so that every checkpoint appears
+    after all the checkpoints its process causally depends on — the order
+    a debugger would restore them in. *)
+
+val pp : Format.formatter -> t -> unit

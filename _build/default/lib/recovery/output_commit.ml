@@ -1,0 +1,27 @@
+module Pattern = Rdt_pattern.Pattern
+module Types = Rdt_pattern.Types
+
+type requirement = {
+  output_at : Types.ckpt_id;
+  must_be_stable : Types.ckpt_id list;
+}
+
+let requirement pat ~pid ~interval =
+  if interval < 1 || interval > Pattern.last_index pat pid then
+    invalid_arg "Output_commit.requirement: no such interval";
+  (* The interval I_{pid,interval} is closed by C_{pid,interval}; the
+     output depends on everything that checkpoint depends on. *)
+  let target = (pid, interval) in
+  match Rdt_pattern.Consistency.min_consistent_containing pat [ target ] with
+  | None -> None
+  | Some line ->
+      Some
+        {
+          output_at = target;
+          must_be_stable = Array.to_list (Array.mapi (fun i x -> (i, x)) line);
+        }
+
+let commit_latency_ckpts pat ~pid ~interval =
+  match requirement pat ~pid ~interval with
+  | None -> None
+  | Some r -> Some (List.length (List.filter (fun (_, x) -> x > 0) r.must_be_stable))

@@ -1,0 +1,32 @@
+(** The output-commit problem (Section 1).
+
+    Before a process releases an output to the outside world (which cannot
+    be rolled back), the system must be able to recover to a state that
+    still produces this output.  Under RDT, the set of local checkpoints
+    that must first be made stable is exactly the minimum consistent
+    global checkpoint containing the last local checkpoint preceding the
+    output — i.e. the output's recorded dependency vector. *)
+
+type requirement = {
+  output_at : Rdt_pattern.Types.ckpt_id;
+      (** the checkpoint ending the interval in which the output happens *)
+  must_be_stable : Rdt_pattern.Types.ckpt_id list;
+      (** checkpoints (one per process) to force to stable storage before
+          releasing the output *)
+}
+
+val requirement :
+  Rdt_pattern.Pattern.t -> pid:Rdt_pattern.Types.pid -> interval:int -> requirement option
+(** Requirement for an output performed by [pid] during its checkpoint
+    interval [interval].  [None] when no consistent global checkpoint
+    covers the output (non-RDT patterns only).
+
+    The checkpoint named by [output_at] is the one {e closing} the
+    interval: once it and [must_be_stable] are stable, replaying from the
+    recovery line regenerates the output deterministically. *)
+
+val commit_latency_ckpts : Rdt_pattern.Pattern.t -> pid:Rdt_pattern.Types.pid -> interval:int -> int option
+(** Number of checkpoints that must still reach stable storage, assuming
+    checkpoints become stable in index order and everything strictly below
+    the output's dependency vector is already stable — a proxy for the
+    output-commit latency studied in the literature. *)

@@ -1,0 +1,31 @@
+(** A stable-storage model for checkpoints.
+
+    Tracks which local checkpoints have been flushed to stable storage and
+    answers the garbage-collection question: once a recovery line is
+    known, every checkpoint strictly below it on every process can never
+    be needed again and may be reclaimed. *)
+
+type t
+
+val create : Rdt_pattern.Pattern.t -> t
+(** Storage for a finished pattern; initially only the initial checkpoints
+    [C_{i,0}] are stable. *)
+
+val make_stable : t -> Rdt_pattern.Types.ckpt_id -> unit
+(** Flush a checkpoint.  Idempotent.
+    @raise Invalid_argument if it does not exist in the pattern. *)
+
+val is_stable : t -> Rdt_pattern.Types.ckpt_id -> bool
+
+val stable_count : t -> int
+
+val stable_line : t -> int array
+(** Per process, the highest index [x] such that checkpoints [0..x] are
+    all stable — the best recovery bound a crash of that process allows. *)
+
+val collectible : t -> line:int array -> Rdt_pattern.Types.ckpt_id list
+(** Checkpoints that a recovery line makes reclaimable: every stable
+    [C_{i,x}] with [x < line.(i)]. *)
+
+val collect : t -> line:int array -> int
+(** Reclaims them; returns how many were discarded. *)

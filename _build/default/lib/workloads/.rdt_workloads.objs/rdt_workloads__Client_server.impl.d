@@ -1,0 +1,1 @@
+lib/workloads/client_server.ml: Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/client_server.mli: Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/group_env.ml: Array List Params Rdt_dist Seq

@@ -1,0 +1,1 @@
+lib/workloads/group_env.mli: Params Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/master_worker.ml: Array List Rdt_dist

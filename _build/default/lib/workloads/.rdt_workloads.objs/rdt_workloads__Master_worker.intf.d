@@ -1,0 +1,1 @@
+lib/workloads/master_worker.mli: Rdt_dist

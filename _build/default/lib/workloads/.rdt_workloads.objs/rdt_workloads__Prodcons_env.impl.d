@@ -1,0 +1,1 @@
+lib/workloads/prodcons_env.ml: Params Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/prodcons_env.mli: Params Rdt_dist

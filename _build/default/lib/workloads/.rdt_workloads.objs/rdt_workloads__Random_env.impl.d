@@ -1,0 +1,1 @@
+lib/workloads/random_env.ml: List Params Rdt_dist

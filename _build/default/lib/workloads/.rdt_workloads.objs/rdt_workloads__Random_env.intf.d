@@ -1,0 +1,1 @@
+lib/workloads/random_env.mli: Params Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Client_server Group_env List Master_worker Printf Prodcons_env Random_env Ring_env Stencil_env String

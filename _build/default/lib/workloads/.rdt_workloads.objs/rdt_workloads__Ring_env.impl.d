@@ -1,0 +1,1 @@
+lib/workloads/ring_env.ml: Array Rdt_dist

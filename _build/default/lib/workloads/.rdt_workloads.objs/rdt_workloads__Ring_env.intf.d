@@ -1,0 +1,1 @@
+lib/workloads/ring_env.mli: Rdt_dist

@@ -1,0 +1,1 @@
+lib/workloads/stencil_env.ml: Array List Rdt_dist

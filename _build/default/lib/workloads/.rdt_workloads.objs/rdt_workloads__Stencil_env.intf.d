@@ -1,0 +1,1 @@
+lib/workloads/stencil_env.mli: Rdt_dist

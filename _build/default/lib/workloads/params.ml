@@ -1,0 +1,9 @@
+type t = { mean_think : int; send_prob : float; burst_max : int }
+
+let default = { mean_think = 40; send_prob = 0.9; burst_max = 1 }
+
+let validate p =
+  if p.mean_think <= 0 then Error "mean_think must be positive"
+  else if p.send_prob < 0.0 || p.send_prob > 1.0 then Error "send_prob out of [0;1]"
+  else if p.burst_max < 1 then Error "burst_max must be >= 1"
+  else Ok ()

@@ -1,0 +1,24 @@
+(** Tunable workload parameters shared by the environments.
+
+    The paper's simulation study (Section 5.3) does not publish its exact
+    parameter table (the surviving text is partial); these defaults are
+    chosen to land in the regime it describes: processes alternate
+    computation and communication with memoryless think times, channels
+    reorder messages freely, and basic checkpoints are roughly an order of
+    magnitude rarer than sends. *)
+
+type t = {
+  mean_think : int;
+      (** mean (exponential) delay between spontaneous activities of a
+          process, in simulated time units *)
+  send_prob : float;
+      (** probability that a spontaneous activity is a send (otherwise an
+          internal event) *)
+  burst_max : int;
+      (** a send activity emits a burst of 1..[burst_max] messages (to
+          distinct destinations when possible) *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result

@@ -1,0 +1,33 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+
+let make ?(params = Params.default) () : Env.t =
+  (match Params.validate params with Ok () -> () | Error e -> invalid_arg ("Random_env: " ^ e));
+  (module struct
+    type t = { n : int; rng : Rng.t }
+
+    let name = "random"
+
+    let create ~n ~rng = { n; rng }
+
+    let initial_tick_delay t ~pid:_ = Rng.exponential_int t.rng ~mean:params.Params.mean_think
+
+    let other_process t pid =
+      let d = Rng.int t.rng (t.n - 1) in
+      if d >= pid then d + 1 else d
+
+    let on_tick t ~pid =
+      let actions =
+        if Rng.bernoulli t.rng params.Params.send_prob then begin
+          let burst = 1 + Rng.int t.rng params.Params.burst_max in
+          List.init burst (fun _ -> Env.Send (other_process t pid))
+        end
+        else [ Env.Internal ]
+      in
+      {
+        Env.actions;
+        next_tick_in = Some (Rng.exponential_int t.rng ~mean:params.Params.mean_think);
+      }
+
+    let on_deliver = Env.no_reaction
+  end)

@@ -1,0 +1,7 @@
+(** The "general" communication environment of the simulation study:
+    every process alternates exponentially-distributed think times with
+    activities that are, with probability [send_prob], a send to a
+    uniformly random other process (a burst of up to [burst_max]) and an
+    internal event otherwise.  No reaction to deliveries. *)
+
+val make : ?params:Params.t -> unit -> Rdt_dist.Env.t

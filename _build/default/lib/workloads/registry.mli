@@ -1,0 +1,12 @@
+(** Registry of workload environments (with default parameters). *)
+
+val all : (string * string * (unit -> Rdt_dist.Env.t)) list
+(** [(name, description, constructor)] for every environment. *)
+
+val find : string -> (unit -> Rdt_dist.Env.t) option
+
+val find_exn : string -> Rdt_dist.Env.t
+(** Builds the environment with default parameters.
+    @raise Invalid_argument on unknown names. *)
+
+val names : string list

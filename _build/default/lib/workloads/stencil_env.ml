@@ -1,0 +1,43 @@
+module Env = Rdt_dist.Env
+module Rng = Rdt_dist.Rng
+
+type stencil_params = { warmup_mean : int; compute_internal : bool }
+
+let default_stencil_params = { warmup_mean = 30; compute_internal = true }
+
+let make ?(params = default_stencil_params) () : Env.t =
+  if params.warmup_mean <= 0 then invalid_arg "Stencil_env: warmup_mean must be positive";
+  (module struct
+    type t = {
+      n : int;
+      rng : Rng.t;
+      started : bool array;
+      pending : int array; (* neighbour messages still expected this phase *)
+    }
+
+    let name = "stencil"
+
+    let create ~n ~rng = { n; rng; started = Array.make n false; pending = Array.make n 2 }
+
+    let initial_tick_delay t ~pid:_ = Rng.exponential_int t.rng ~mean:params.warmup_mean
+
+    let neighbours t pid =
+      if t.n = 2 then [ (pid + 1) mod 2 ]
+      else [ (pid + 1) mod t.n; (pid + t.n - 1) mod t.n ]
+
+    let exchange t pid =
+      let sends = List.map (fun nb -> Env.Send nb) (neighbours t pid) in
+      t.pending.(pid) <- List.length sends;
+      if params.compute_internal then Env.Internal :: sends else sends
+
+    let on_tick t ~pid =
+      if t.started.(pid) then { Env.actions = []; next_tick_in = None }
+      else begin
+        t.started.(pid) <- true;
+        { Env.actions = exchange t pid; next_tick_in = None }
+      end
+
+    let on_deliver t ~pid ~src:_ =
+      t.pending.(pid) <- t.pending.(pid) - 1;
+      if t.pending.(pid) <= 0 then exchange t pid else []
+  end)

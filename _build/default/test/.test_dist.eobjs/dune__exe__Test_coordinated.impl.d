@@ -1,0 +1,1 @@
+test/test_coordinated.ml: Alcotest Array List Printf Rdt_coordinated Rdt_pattern Rdt_recovery Rdt_workloads Result

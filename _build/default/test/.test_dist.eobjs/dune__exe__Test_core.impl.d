@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List QCheck QCheck_alcotest Rdt_core Rdt_pattern Rdt_test_helpers Rdt_workloads

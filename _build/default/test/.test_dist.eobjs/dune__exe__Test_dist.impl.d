@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array List QCheck QCheck_alcotest Rdt_dist Result

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Format List QCheck QCheck_alcotest Rdt_core Rdt_dist Rdt_harness Rdt_pattern Rdt_recovery Rdt_test_helpers Rdt_workloads Result String

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array List QCheck QCheck_alcotest Rdt_core Rdt_failures Rdt_pattern Rdt_workloads Result

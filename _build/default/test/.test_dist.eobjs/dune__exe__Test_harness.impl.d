@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List QCheck QCheck_alcotest Rdt_core Rdt_harness String

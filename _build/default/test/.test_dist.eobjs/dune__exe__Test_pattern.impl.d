@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Array List QCheck QCheck_alcotest Rdt_core Rdt_pattern Rdt_test_helpers Result String

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Fun List QCheck QCheck_alcotest Rdt_core Rdt_pattern Rdt_recovery Rdt_test_helpers Rdt_workloads Seq

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Rdt_core Rdt_dist Rdt_pattern Rdt_workloads Result

@@ -1,0 +1,1 @@
+test/helpers/fixtures.ml: Rdt_pattern

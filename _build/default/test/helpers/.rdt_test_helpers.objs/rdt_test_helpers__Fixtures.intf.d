@@ -1,0 +1,1 @@
+test/helpers/fixtures.mli: Rdt_pattern

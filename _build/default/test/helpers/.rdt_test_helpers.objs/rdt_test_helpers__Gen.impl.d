@@ -1,0 +1,1 @@
+test/helpers/gen.ml: Format List QCheck Rdt_dist Rdt_pattern

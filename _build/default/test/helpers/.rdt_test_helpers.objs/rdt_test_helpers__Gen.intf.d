@@ -1,0 +1,1 @@
+test/helpers/gen.mli: QCheck Rdt_pattern

@@ -1,0 +1,1 @@
+test/helpers/naive.ml: Array Fun Hashtbl List Rdt_pattern Seq

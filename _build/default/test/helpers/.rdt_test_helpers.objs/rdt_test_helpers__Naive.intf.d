@@ -1,0 +1,1 @@
+test/helpers/naive.mli: Rdt_pattern Seq

@@ -1,0 +1,50 @@
+module P = Rdt_pattern.Pattern
+module Rng = Rdt_dist.Rng
+
+let build ~n ~steps ~rng =
+  let b = P.Builder.create ~n in
+  let pending = ref [] in
+  let npending = ref 0 in
+  let pick_pending () =
+    let k = Rng.int rng !npending in
+    let h = List.nth !pending k in
+    pending := List.filteri (fun i _ -> i <> k) !pending;
+    decr npending;
+    h
+  in
+  for _ = 1 to steps do
+    let dice = Rng.float rng 1.0 in
+    if dice < 0.40 || (!npending = 0 && dice < 0.80) then begin
+      let src = Rng.int rng n in
+      let dst = (src + 1 + Rng.int rng (n - 1)) mod n in
+      pending := P.Builder.send b ~src ~dst :: !pending;
+      incr npending
+    end
+    else if dice < 0.80 then P.Builder.recv b (pick_pending ())
+    else ignore (P.Builder.checkpoint b (Rng.int rng n))
+  done;
+  while !npending > 0 do
+    P.Builder.recv b (pick_pending ())
+  done;
+  P.Builder.finish ~final_checkpoints:true b
+
+let random_pattern ?n ?steps ~seed () =
+  let rng = Rng.create seed in
+  let n = match n with Some n -> n | None -> 2 + Rng.int rng 4 in
+  let steps = match steps with Some s -> s | None -> 10 + Rng.int rng 71 in
+  build ~n ~steps ~rng
+
+let print_pattern p = Format.asprintf "%a" P.pp_summary p
+
+let pattern_arbitrary =
+  QCheck.make ~print:print_pattern
+    (QCheck.Gen.map (fun seed -> random_pattern ~seed ()) QCheck.Gen.nat)
+
+let small_pattern_arbitrary =
+  QCheck.make ~print:print_pattern
+    (QCheck.Gen.map
+       (fun seed ->
+         let rng = Rng.create (seed * 7 + 1) in
+         let n = 2 + Rng.int rng 2 in
+         build ~n ~steps:(8 + Rng.int rng 13) ~rng)
+       QCheck.Gen.nat)

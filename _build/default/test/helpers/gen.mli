@@ -1,0 +1,20 @@
+(** Random checkpoint & communication patterns for property-based tests.
+
+    The generator drives {!Rdt_pattern.Pattern.Builder} directly with a
+    random interleaving of sends, deliveries and checkpoints — it is not
+    constrained by any protocol, so the patterns freely contain non-causal
+    chains, Z-cycles and RDT violations.  Everything derives
+    deterministically from the seed. *)
+
+val random_pattern : ?n:int -> ?steps:int -> seed:int -> unit -> Rdt_pattern.Pattern.t
+(** [n] defaults to a seed-derived value in [\[2, 5\]]; [steps] (builder
+    operations before draining) defaults to a seed-derived value in
+    [\[10, 80\]]. *)
+
+val pattern_arbitrary : Rdt_pattern.Pattern.t QCheck.arbitrary
+(** QCheck arbitrary wrapping {!random_pattern} (prints the pattern
+    summary on failure). *)
+
+val small_pattern_arbitrary : Rdt_pattern.Pattern.t QCheck.arbitrary
+(** Patterns small enough for exhaustive (exponential) reference
+    computations: [n <= 3], few checkpoints per process. *)

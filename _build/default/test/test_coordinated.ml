@@ -1,0 +1,217 @@
+(* Tests for rdt_coordinated: the Chandy-Lamport snapshot runtime. *)
+
+module S = Rdt_coordinated.Snapshot
+module P = Rdt_pattern.Pattern
+module Consistency = Rdt_pattern.Consistency
+
+let check = Alcotest.(check bool)
+
+let run ?(n = 5) ?(seed = 3) ?(messages = 600) ?(period = 400) envname =
+  let env = Rdt_workloads.Registry.find_exn envname in
+  S.run { (S.default_config env) with S.n; seed; max_messages = messages; initiation_period = period }
+
+let environments = List.map (fun (n, _, _) -> n) Rdt_workloads.Registry.all
+
+let test_snapshots_complete () =
+  List.iter
+    (fun envname ->
+      let r = run envname in
+      if r.S.metrics.S.snapshots_completed = 0 then
+        Alcotest.failf "%s: no snapshot completed" envname;
+      Alcotest.(check int)
+        (envname ^ ": snapshot list matches metric")
+        r.S.metrics.S.snapshots_completed (List.length r.S.snapshots))
+    environments
+
+let test_cuts_consistent () =
+  List.iter
+    (fun envname ->
+      let r = run envname in
+      List.iter
+        (fun (s : S.snapshot) ->
+          if not (Consistency.consistent_global r.S.pattern s.S.cut) then
+            Alcotest.failf "%s: snapshot %d inconsistent" envname s.S.id)
+        r.S.snapshots)
+    environments
+
+let test_channel_state_is_in_transit () =
+  (* the channel states recorded by Chandy-Lamport are exactly the
+     in-transit messages of the cut, as computed by the (independent)
+     message-logging analysis *)
+  List.iter
+    (fun envname ->
+      let r = run envname in
+      List.iter
+        (fun (s : S.snapshot) ->
+          let recorded = List.sort compare s.S.channel_state in
+          let analysed =
+            List.sort compare (Rdt_recovery.Message_log.in_transit r.S.pattern ~line:s.S.cut)
+          in
+          if recorded <> analysed then
+            Alcotest.failf "%s: snapshot %d channel state mismatch" envname s.S.id)
+        r.S.snapshots)
+    environments
+
+let test_marker_cost () =
+  let r = run "random" in
+  Alcotest.(check int) "n(n-1) markers per snapshot"
+    (r.S.metrics.S.snapshots_completed * S.markers_per_snapshot ~n:5)
+    r.S.metrics.S.marker_messages
+
+let test_one_checkpoint_per_snapshot () =
+  let r = run "random" in
+  let pat = r.S.pattern in
+  (* each process has: initial + one per snapshot + final *)
+  for i = 0 to P.n pat - 1 do
+    let non_final =
+      Array.fold_left
+        (fun acc (c : Rdt_pattern.Types.ckpt) ->
+          match c.kind with
+          | Rdt_pattern.Types.Basic -> acc + 1
+          | Rdt_pattern.Types.Initial | Rdt_pattern.Types.Forced | Rdt_pattern.Types.Final -> acc)
+        0 (P.checkpoints pat i)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "process %d checkpoints" i)
+      r.S.metrics.S.snapshots_completed non_final
+  done
+
+let test_latency_ordering () =
+  let r = run "random" in
+  List.iter
+    (fun (s : S.snapshot) ->
+      check "completion after initiation" true (s.S.completed_at > s.S.initiated_at))
+    r.S.snapshots;
+  (* snapshots are sequential: each starts after the previous completed *)
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        check "no overlap" true (b.S.initiated_at >= a.S.completed_at);
+        pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs r.S.snapshots
+
+let test_deterministic () =
+  let a = run "group" and b = run "group" in
+  Alcotest.(check int) "same snapshot count" a.S.metrics.S.snapshots_completed
+    b.S.metrics.S.snapshots_completed;
+  check "same cuts" true
+    (List.map (fun s -> s.S.cut) a.S.snapshots = List.map (fun s -> s.S.cut) b.S.snapshots)
+
+let test_budget_respected () =
+  let r = run ~messages:123 "random" in
+  Alcotest.(check int) "app messages" 123 r.S.metrics.S.app_messages;
+  check "pattern valid" true (Result.is_ok (P.validate r.S.pattern))
+
+let test_validation () =
+  let env = Rdt_workloads.Registry.find_exn "random" in
+  Alcotest.check_raises "n too small" (Invalid_argument "Snapshot: n must be >= 2") (fun () ->
+      ignore (S.run { (S.default_config env) with S.n = 1 }));
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Snapshot: initiation_period must be >= 1") (fun () ->
+      ignore (S.run { (S.default_config env) with S.initiation_period = 0 }))
+
+(* The contrast with CIC: coordinated snapshots also make every recorded
+   checkpoint a member of a consistent global checkpoint, but they pay in
+   control messages, which CIC never sends. *)
+let test_no_useless_checkpoints () =
+  let r = run "client-server" in
+  let pat = r.S.pattern in
+  List.iter
+    (fun (s : S.snapshot) ->
+      Array.iteri
+        (fun i x ->
+          if Consistency.useless pat (i, x) then
+            Alcotest.failf "snapshot checkpoint C(%d,%d) useless" i x)
+        s.S.cut)
+    r.S.snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Koo-Toueg                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module KT = Rdt_coordinated.Koo_toueg
+
+let run_kt ?(n = 5) ?(seed = 3) ?(messages = 600) envname =
+  let env = Rdt_workloads.Registry.find_exn envname in
+  KT.run { (KT.default_config env) with KT.n; seed; max_messages = messages }
+
+let test_kt_rounds_commit () =
+  List.iter
+    (fun envname ->
+      let r = run_kt envname in
+      if r.KT.metrics.KT.rounds_committed = 0 then Alcotest.failf "%s: no round" envname;
+      Alcotest.(check int)
+        (envname ^ ": rounds recorded")
+        r.KT.metrics.KT.rounds_committed (List.length r.KT.rounds))
+    environments
+
+let test_kt_cuts_consistent () =
+  List.iter
+    (fun envname ->
+      let r = run_kt envname in
+      List.iter
+        (fun (rd : KT.round) ->
+          if not (Consistency.consistent_global r.KT.pattern rd.KT.cut) then
+            Alcotest.failf "%s: round %d cut inconsistent" envname rd.KT.id)
+        r.KT.rounds)
+    environments
+
+let test_kt_partial_participation () =
+  (* on the client-server chain, dependency does not always span all
+     servers: some round should involve fewer than n participants *)
+  let r = run_kt ~n:8 ~messages:900 "client-server" in
+  check "some partial round" true
+    (List.exists (fun (rd : KT.round) -> List.length rd.KT.participants < 8) r.KT.rounds);
+  (* participants are exactly the processes whose checkpoint count grew *)
+  List.iter
+    (fun (rd : KT.round) ->
+      check "initiator participates" true (List.mem 0 rd.KT.participants))
+    r.KT.rounds
+
+let test_kt_deterministic () =
+  let a = run_kt "random" and b = run_kt "random" in
+  check "same rounds" true
+    (List.map (fun r -> r.KT.cut) a.KT.rounds = List.map (fun r -> r.KT.cut) b.KT.rounds)
+
+let test_kt_control_and_checkpoints () =
+  let r = run_kt "random" in
+  check "control messages counted" true (r.KT.metrics.KT.control_messages > 0);
+  (* total checkpoints = sum over rounds of participants *)
+  let by_rounds =
+    List.fold_left (fun a (rd : KT.round) -> a + List.length rd.KT.participants) 0 r.KT.rounds
+  in
+  Alcotest.(check int) "checkpoints = participants" by_rounds r.KT.metrics.KT.checkpoints_taken;
+  check "pattern valid" true (Result.is_ok (P.validate r.KT.pattern))
+
+let test_kt_validation () =
+  let env = Rdt_workloads.Registry.find_exn "random" in
+  Alcotest.check_raises "n" (Invalid_argument "Koo_toueg: n must be >= 2") (fun () ->
+      ignore (KT.run { (KT.default_config env) with KT.n = 1 }))
+
+let () =
+  Alcotest.run "rdt_coordinated"
+    [
+      ( "chandy-lamport",
+        [
+          Alcotest.test_case "snapshots complete" `Quick test_snapshots_complete;
+          Alcotest.test_case "cuts consistent" `Quick test_cuts_consistent;
+          Alcotest.test_case "channel state = in-transit" `Quick test_channel_state_is_in_transit;
+          Alcotest.test_case "marker cost" `Quick test_marker_cost;
+          Alcotest.test_case "one checkpoint per snapshot" `Quick test_one_checkpoint_per_snapshot;
+          Alcotest.test_case "latency ordering" `Quick test_latency_ordering;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "budget respected" `Quick test_budget_respected;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "no useless checkpoints" `Quick test_no_useless_checkpoints;
+        ] );
+      ( "koo-toueg",
+        [
+          Alcotest.test_case "rounds commit" `Quick test_kt_rounds_commit;
+          Alcotest.test_case "cuts consistent" `Quick test_kt_cuts_consistent;
+          Alcotest.test_case "partial participation" `Quick test_kt_partial_participation;
+          Alcotest.test_case "deterministic" `Quick test_kt_deterministic;
+          Alcotest.test_case "control and checkpoints" `Quick test_kt_control_and_checkpoints;
+          Alcotest.test_case "validation" `Quick test_kt_validation;
+        ] );
+    ]

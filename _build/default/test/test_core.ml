@@ -1,0 +1,662 @@
+(* Tests for rdt_core: control payloads, predicates, each protocol's state
+   machine (driven by hand through the paper's scenarios), the simulation
+   runtime, the three RDT checkers, and the minimum-consistent-global-
+   checkpoint corollary — across every (environment, protocol) pair. *)
+
+module Control = Rdt_core.Control
+module Predicates = Rdt_core.Predicates
+module Protocol = Rdt_core.Protocol
+module Registry = Rdt_core.Registry
+module Runtime = Rdt_core.Runtime
+module Checker = Rdt_core.Checker
+module Min_gcp = Rdt_core.Min_gcp
+module Metrics = Rdt_core.Metrics
+module P = Rdt_pattern.Pattern
+
+let check = Alcotest.(check bool)
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Control payloads                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_control_bits () =
+  Alcotest.(check int) "nothing" 0 (Control.bits Control.Nothing);
+  Alcotest.(check int) "tdv" 128 (Control.bits (Control.Tdv (Array.make 4 0)));
+  Alcotest.(check int) "tdv+causal" (128 + 16)
+    (Control.bits
+       (Control.Tdv_causal { tdv = Array.make 4 0; causal = Array.make_matrix 4 4 false }));
+  Alcotest.(check int) "full" (128 + 4 + 16)
+    (Control.bits
+       (Control.Full
+          { tdv = Array.make 4 0; simple = Array.make 4 false; causal = Array.make_matrix 4 4 false }))
+
+let test_control_tdv_access () =
+  let v = [| 1; 2 |] in
+  check "nothing" true (Control.tdv Control.Nothing = None);
+  check "tdv" true (Control.tdv (Control.Tdv v) = Some v)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_predicates_new_dep () =
+  check "no new dep" false (Predicates.new_dep ~tdv:[| 2; 3 |] ~m_tdv:[| 2; 3 |]);
+  check "new dep" true (Predicates.new_dep ~tdv:[| 2; 3 |] ~m_tdv:[| 2; 4 |])
+
+let test_predicates_c1 () =
+  let tdv = [| 1; 0; 0 |] and m_tdv = [| 1; 1; 0 |] in
+  let m_causal = Array.make_matrix 3 3 false in
+  (* no send yet: C1 cannot fire *)
+  check "no sends" false
+    (Predicates.c1 ~sent_to:[| false; false; false |] ~tdv ~m_tdv ~m_causal);
+  (* sent to P2, new dep on P1, sender knows no sibling: fire *)
+  check "fires" true (Predicates.c1 ~sent_to:[| false; false; true |] ~tdv ~m_tdv ~m_causal);
+  (* sender knows the causal sibling C_{1,?} ~> C_{2,?}: no fire *)
+  m_causal.(1).(2) <- true;
+  check "sibling known" false
+    (Predicates.c1 ~sent_to:[| false; false; true |] ~tdv ~m_tdv ~m_causal)
+
+let test_predicates_c2 () =
+  check "same interval, non simple" true
+    (Predicates.c2 ~pid:0 ~tdv:[| 3; 0 |] ~m_tdv:[| 3; 1 |] ~m_simple:[| false; true |]);
+  check "same interval, simple" false
+    (Predicates.c2 ~pid:0 ~tdv:[| 3; 0 |] ~m_tdv:[| 3; 1 |] ~m_simple:[| true; true |]);
+  check "older interval" false
+    (Predicates.c2 ~pid:0 ~tdv:[| 3; 0 |] ~m_tdv:[| 2; 1 |] ~m_simple:[| false; true |])
+
+let test_predicates_c2' () =
+  check "fires" true (Predicates.c2' ~pid:0 ~tdv:[| 3; 0 |] ~m_tdv:[| 3; 1 |]);
+  check "no new dep" false (Predicates.c2' ~pid:0 ~tdv:[| 3; 1 |] ~m_tdv:[| 3; 1 |])
+
+let test_predicates_fdas_fdi () =
+  check "fdas needs send" false
+    (Predicates.c_fdas ~after_first_send:false ~tdv:[| 0; 0 |] ~m_tdv:[| 0; 1 |]);
+  check "fdas fires" true
+    (Predicates.c_fdas ~after_first_send:true ~tdv:[| 0; 0 |] ~m_tdv:[| 0; 1 |]);
+  check "fdi fires without send" true (Predicates.c_fdi ~tdv:[| 0; 0 |] ~m_tdv:[| 0; 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Protocol state machines, driven by hand                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The Figure 4 / C2 scenario: a causal chain leaves P0's current interval
+   and returns after crossing a checkpoint at P1 — P0 must break it. *)
+let test_bhmr_c2_scenario () =
+  let module B = Rdt_core.Bhmr in
+  let p0 = B.create ~n:2 ~pid:0 and p1 = B.create ~n:2 ~pid:1 in
+  B.on_checkpoint p0;
+  B.on_checkpoint p1;
+  (* P0 sends m_a to P1 *)
+  let ma = B.make_payload p0 ~dst:1 in
+  check "P1 not forced by m_a" false (B.must_force p1 ~src:0 ma);
+  B.absorb p1 ~src:0 ma;
+  (* P1 takes a basic checkpoint: the returning chain is now non-simple *)
+  B.on_checkpoint p1;
+  let mb = B.make_payload p1 ~dst:0 in
+  check "P0 forced (C2)" true (B.must_force p0 ~src:1 mb)
+
+(* Same exchange without the checkpoint at P1: the chain stays simple and
+   P0 must NOT be forced. *)
+let test_bhmr_c2_negative () =
+  let module B = Rdt_core.Bhmr in
+  let p0 = B.create ~n:2 ~pid:0 and p1 = B.create ~n:2 ~pid:1 in
+  B.on_checkpoint p0;
+  B.on_checkpoint p1;
+  let ma = B.make_payload p0 ~dst:1 in
+  B.absorb p1 ~src:0 ma;
+  let mb = B.make_payload p1 ~dst:0 in
+  check "P0 not forced" false (B.must_force p0 ~src:1 mb);
+  (* FDAS, in contrast, forces here: P0 has sent and m_b carries a new
+     dependency on P1 *)
+  let module F = Rdt_core.Fdas in
+  let f0 = F.create ~n:2 ~pid:0 and f1 = F.create ~n:2 ~pid:1 in
+  F.on_checkpoint f0;
+  F.on_checkpoint f1;
+  let fa = F.make_payload f0 ~dst:1 in
+  F.absorb f1 ~src:0 fa;
+  let fb = F.make_payload f1 ~dst:0 in
+  check "FDAS forced" true (F.must_force f0 ~src:1 fb)
+
+(* The Figure 3 / C1 scenario with three processes: the sender's causal
+   matrix knows a sibling, so the receiver does not need to break the
+   chain — knowledge FDAS does not have. *)
+let test_bhmr_c1_sibling_knowledge () =
+  let module B = Rdt_core.Bhmr in
+  let n = 3 in
+  let p = Array.init n (fun pid -> B.create ~n ~pid) in
+  Array.iter B.on_checkpoint p;
+  (* P1 sends m1 to P2; P2 acknowledges to P1, so P1 learns that an
+     on-line trackable path C_{1,1} ~> C_{2,1} exists *)
+  let m1 = B.make_payload p.(1) ~dst:2 in
+  check "P2 not forced" false (B.must_force p.(2) ~src:1 m1);
+  B.absorb p.(2) ~src:1 m1;
+  let m2 = B.make_payload p.(2) ~dst:1 in
+  check "P1 not forced" false (B.must_force p.(1) ~src:2 m2);
+  B.absorb p.(1) ~src:2 m2;
+  (* P0 sends to P2 (sent_to[2] becomes true) *)
+  let _to_p2 = B.make_payload p.(0) ~dst:2 in
+  (* P1 now sends m4 to P0 carrying new deps on P1 and P2, but its causal
+     matrix knows the sibling C_{1,·} ~> C_{2,·}: C1 must not fire *)
+  let m4 = B.make_payload p.(1) ~dst:0 in
+  check "P0 not forced (sibling known)" false (B.must_force p.(0) ~src:1 m4)
+
+(* Same scenario without the acknowledgement: P1 does not know whether m1
+   arrived, so the non-causal chain towards P2 might have no sibling and
+   P0 must break it. *)
+let test_bhmr_c1_fires_without_knowledge () =
+  let module B = Rdt_core.Bhmr in
+  let n = 3 in
+  let p = Array.init n (fun pid -> B.create ~n ~pid) in
+  Array.iter B.on_checkpoint p;
+  let _m1 = B.make_payload p.(1) ~dst:2 in
+  (* no delivery, no ack *)
+  let _to_p2 = B.make_payload p.(0) ~dst:2 in
+  let m4 = B.make_payload p.(1) ~dst:0 in
+  check "P0 forced (no sibling known)" true (B.must_force p.(0) ~src:1 m4)
+
+let test_bhmr_tdv_maintenance () =
+  let module B = Rdt_core.Bhmr in
+  let p0 = B.create ~n:2 ~pid:0 and p1 = B.create ~n:2 ~pid:1 in
+  B.on_checkpoint p0;
+  B.on_checkpoint p1;
+  (match B.tdv p0 with
+  | Some v -> Alcotest.(check (array int)) "after initial ckpt" [| 1; 0 |] v
+  | None -> Alcotest.fail "expected a TDV");
+  let ma = B.make_payload p0 ~dst:1 in
+  B.absorb p1 ~src:0 ma;
+  (match B.tdv p1 with
+  | Some v -> Alcotest.(check (array int)) "merged" [| 1; 1 |] v
+  | None -> Alcotest.fail "expected a TDV");
+  B.on_checkpoint p1;
+  match B.tdv p1 with
+  | Some v -> Alcotest.(check (array int)) "after ckpt" [| 1; 2 |] v
+  | None -> Alcotest.fail "expected a TDV"
+
+let test_simple_protocols_forcing_rules () =
+  (* CBR forces on any delivery into a non-fresh interval *)
+  let module C = Rdt_core.Cbr in
+  let c = C.create ~n:2 ~pid:0 in
+  C.on_checkpoint c;
+  check "cbr fresh: no force" false (C.must_force c ~src:1 Control.Nothing);
+  C.absorb c ~src:1 Control.Nothing;
+  check "cbr second delivery: force" true (C.must_force c ~src:1 Control.Nothing);
+  C.on_checkpoint c;
+  check "cbr after ckpt: no force" false (C.must_force c ~src:1 Control.Nothing);
+  (* NRAS forces only after a send *)
+  let module N = Rdt_core.Nras in
+  let s = N.create ~n:2 ~pid:0 in
+  N.on_checkpoint s;
+  N.absorb s ~src:1 Control.Nothing;
+  check "nras deliveries ok" false (N.must_force s ~src:1 Control.Nothing);
+  ignore (N.make_payload s ~dst:1);
+  check "nras after send: force" true (N.must_force s ~src:1 Control.Nothing);
+  (* CAS asks for a checkpoint after each send *)
+  check "cas force_after_send" true Rdt_core.Cas.force_after_send;
+  check "nras not after send" false Rdt_core.Nras.force_after_send
+
+let test_bcs_scenario () =
+  (* an arriving message from a later checkpoint index forces a
+     checkpoint; one from the same or an earlier index does not *)
+  let module B = Rdt_core.Bcs in
+  let p0 = B.create ~n:2 ~pid:0 and p1 = B.create ~n:2 ~pid:1 in
+  B.on_checkpoint p0;
+  B.on_checkpoint p1;
+  let ma = B.make_payload p0 ~dst:1 in
+  check "same index: no force" false (B.must_force p1 ~src:0 ma);
+  B.absorb p1 ~src:0 ma;
+  B.on_checkpoint p0;
+  B.on_checkpoint p0;
+  let mb = B.make_payload p0 ~dst:1 in
+  check "later index: force" true (B.must_force p1 ~src:0 mb);
+  B.absorb p1 ~src:0 mb;
+  (* after absorbing, P1 has jumped to P0's index *)
+  let mc = B.make_payload p0 ~dst:1 in
+  check "caught up: no force" false (B.must_force p1 ~src:0 mc)
+
+let test_registry () =
+  Alcotest.(check int) "10 protocols" 10 (List.length Registry.all);
+  check "find bhmr" true (Registry.find "bhmr" <> None);
+  check "find nothing" true (Registry.find "nope" = None);
+  check "rdt list excludes none" true
+    (List.for_all Protocol.ensures_rdt Registry.rdt_protocols);
+  Alcotest.check_raises "find_exn"
+    (Invalid_argument
+       "unknown protocol \"nope\" (valid: cbr, nras, cas, fdi, fdas, bhmr-v2, bhmr-v1, bhmr, bcs, none)")
+    (fun () -> ignore (Registry.find_exn "nope"))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let env name = Rdt_workloads.Registry.find_exn name
+
+let run ?(n = 5) ?(seed = 11) ?(messages = 400) ?(envname = "random") pname =
+  let protocol = Registry.find_exn pname in
+  Runtime.run
+    {
+      (Runtime.default_config (env envname) protocol) with
+      Runtime.n;
+      seed;
+      max_messages = messages;
+    }
+
+let test_runtime_deterministic () =
+  let a = run "bhmr" and b = run "bhmr" in
+  Alcotest.(check int) "same forced" a.Runtime.metrics.Metrics.forced b.Runtime.metrics.Metrics.forced;
+  Alcotest.(check int) "same basic" a.Runtime.metrics.Metrics.basic b.Runtime.metrics.Metrics.basic;
+  check "same pattern summary" true
+    (Format.asprintf "%a" P.pp_summary a.Runtime.pattern
+    = Format.asprintf "%a" P.pp_summary b.Runtime.pattern)
+
+let test_runtime_seed_matters () =
+  let a = run ~seed:1 "bhmr" and b = run ~seed:2 "bhmr" in
+  check "different runs" true
+    (a.Runtime.metrics.Metrics.forced <> b.Runtime.metrics.Metrics.forced
+    || a.Runtime.metrics.Metrics.duration <> b.Runtime.metrics.Metrics.duration)
+
+let test_runtime_message_budget () =
+  let r = run ~messages:123 "none" in
+  Alcotest.(check int) "budget respected" 123 r.Runtime.metrics.Metrics.messages;
+  Alcotest.(check int) "all delivered" 123 (P.num_messages r.Runtime.pattern)
+
+let test_runtime_valid_pattern () =
+  List.iter
+    (fun pname ->
+      let r = run pname in
+      match P.validate r.Runtime.pattern with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s produced an invalid pattern: %s" pname e)
+    (List.map Protocol.name Registry.all)
+
+let test_runtime_bad_config () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Runtime: n must be >= 2") (fun () ->
+      ignore
+        (Runtime.run
+           { (Runtime.default_config (env "random") (Registry.find_exn "bhmr")) with Runtime.n = 1 }))
+
+let test_runtime_forced_counts_match_pattern () =
+  List.iter
+    (fun pname ->
+      let r = run pname in
+      Alcotest.(check int)
+        (pname ^ " forced count = pattern forced count")
+        r.Runtime.metrics.Metrics.forced
+        (P.count_kind r.Runtime.pattern Rdt_pattern.Types.Forced))
+    [ "bhmr"; "fdas"; "cbr"; "cas" ]
+
+(* ------------------------------------------------------------------ *)
+(* The RDT matrix: every protocol × every environment                  *)
+(* ------------------------------------------------------------------ *)
+
+let protocols_under_test = List.map Protocol.name Registry.rdt_protocols
+
+let environments = List.map (fun (n, _, _) -> n) Rdt_workloads.Registry.all
+
+let test_rdt_matrix () =
+  List.iter
+    (fun envname ->
+      List.iter
+        (fun pname ->
+          let r = run ~envname ~n:4 ~messages:250 ~seed:5 pname in
+          let report = Checker.check r.Runtime.pattern in
+          if not report.Checker.rdt then
+            Alcotest.failf "%s on %s violated RDT: %a" pname envname Checker.pp_report report)
+        protocols_under_test)
+    environments
+
+let test_rdt_checkers_agree_on_protocol_runs () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:200 pname in
+      let a = (Checker.check r.Runtime.pattern).Checker.rdt in
+      let b = (Checker.check_chains r.Runtime.pattern).Checker.rdt in
+      let c = (Checker.check_doubling r.Runtime.pattern).Checker.rdt in
+      check (pname ^ ": checkers agree") true (a = b && b = c && a = true))
+    protocols_under_test
+
+let test_none_violates_rdt () =
+  (* independent checkpointing on a chatty workload must create hidden
+     dependencies *)
+  let r = run ~envname:"client-server" ~n:5 ~messages:400 "none" in
+  let report = Checker.check r.Runtime.pattern in
+  check "RDT violated" false report.Checker.rdt;
+  check "violations reported" true (report.Checker.violations <> []);
+  check "chains checker agrees" false (Checker.check_chains r.Runtime.pattern).Checker.rdt;
+  check "doubling checker agrees" false (Checker.check_doubling r.Runtime.pattern).Checker.rdt
+
+let test_online_tdv_consistent () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:250 pname in
+      check (pname ^ ": online TDV = offline replay") true
+        (Checker.online_tdv_consistent r.Runtime.pattern))
+    [ "fdi"; "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ]
+
+let test_corollary_45 () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:200 ~seed:3 pname in
+      check (pname ^ ": Corollary 4.5") true (Min_gcp.corollary_holds r.Runtime.pattern))
+    protocols_under_test
+
+let test_corollary_45_fails_without_rdt () =
+  let r = run ~envname:"client-server" ~n:5 ~messages:400 "none" in
+  check "corollary needs RDT" false (Min_gcp.corollary_holds r.Runtime.pattern)
+
+let test_bcs_no_useless_but_not_rdt () =
+  (* BCS keeps every checkpoint useful in every environment… *)
+  List.iter
+    (fun envname ->
+      let r = run ~envname ~n:4 ~messages:250 ~seed:5 "bcs" in
+      let pat = r.Runtime.pattern in
+      P.iter_ckpts pat (fun c ->
+          if
+            Rdt_pattern.Consistency.useless pat
+              (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
+          then Alcotest.failf "bcs produced a useless checkpoint on %s" envname))
+    environments;
+  (* …but does not ensure RDT: some run must exhibit a hidden dependency *)
+  let violated = ref false in
+  List.iter
+    (fun envname ->
+      List.iter
+        (fun seed ->
+          if not !violated then
+            let r = run ~envname ~n:5 ~messages:400 ~seed "bcs" in
+            if not (Checker.check r.Runtime.pattern).Checker.rdt then violated := true)
+        [ 1; 2; 3 ])
+    environments;
+  check "bcs violates RDT somewhere" true !violated
+
+let test_no_useless_checkpoints_under_rdt () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:250 ~seed:9 pname in
+      let pat = r.Runtime.pattern in
+      P.iter_ckpts pat (fun c ->
+          if Rdt_pattern.Consistency.useless pat (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
+          then Alcotest.failf "%s produced a useless checkpoint" pname))
+    protocols_under_test
+
+let test_hierarchy_no_violations () =
+  List.iter
+    (fun envname ->
+      List.iter
+        (fun pname ->
+          let r = run ~envname ~n:5 ~messages:400 ~seed:2 pname in
+          match r.Runtime.hierarchy_violations with
+          | [] -> ()
+          | (w, s) :: _ ->
+              Alcotest.failf "%s on %s: predicate %s fired without %s" pname envname w s)
+        [ "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ])
+    environments
+
+let test_conservativeness_ordering () =
+  (* mean forced checkpoints over a few seeds: the paper's generality
+     hierarchy — each BHMR variant is at most as conservative as FDAS *)
+  let mean pname =
+    let seeds = [ 1; 2; 3; 4 ] in
+    let total =
+      List.fold_left
+        (fun acc seed -> acc + (run ~seed ~n:6 ~messages:600 pname).Runtime.metrics.Metrics.forced)
+        0 seeds
+    in
+    float_of_int total /. 4.0
+  in
+  let fdas = mean "fdas" and bhmr = mean "bhmr" and v1 = mean "bhmr-v1" and v2 = mean "bhmr-v2" in
+  check "bhmr <= fdas" true (bhmr <= fdas +. 1e-9);
+  check "v1 <= fdas" true (v1 <= fdas +. 1e-9);
+  check "v2 <= fdas" true (v2 <= fdas +. 1e-9);
+  check "bhmr <= v2" true (bhmr <= v2 +. 1e-9)
+
+let test_min_gcp_of_tdv_matches_brute () =
+  let r = run ~n:4 ~messages:200 ~seed:8 "bhmr" in
+  let pat = r.Runtime.pattern in
+  P.iter_ckpts pat (fun c ->
+      let id = (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) in
+      let online = Min_gcp.of_tdv pat id in
+      match Min_gcp.minimum pat id with
+      | Some brute -> Alcotest.(check (array int)) "min gcp" brute online
+      | None -> Alcotest.fail "no consistent GCP under RDT?")
+
+let test_max_gcp_exists_under_rdt () =
+  let r = run ~n:4 ~messages:200 ~seed:8 "bhmr" in
+  let pat = r.Runtime.pattern in
+  P.iter_ckpts pat (fun c ->
+      let id = (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) in
+      match Min_gcp.maximum pat id with
+      | Some v ->
+          check "consistent" true (Rdt_pattern.Consistency.consistent_global pat v);
+          check "contains target" true (v.(fst id) = snd id)
+      | None -> Alcotest.fail "no max consistent GCP under RDT?")
+
+(* Lemma 4.1: under the protocol there cannot exist two on-line trackable
+   R-paths C_{i,x} ~> C_{k,z-1} and C_{k,z} ~> C_{i,x} — a dependency of a
+   checkpoint on a *later* checkpoint of the same process would make
+   C_{k,z-1}..C_{k,z} un-recoverable.  The conjunction is possible in
+   unconstrained patterns (the `none` baseline exhibits it); every RDT
+   protocol must exclude it. *)
+let lemma_41_violations pat =
+  let tdv = Rdt_pattern.Tdv.compute pat in
+  let bad = ref 0 in
+  let n = P.n pat in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      if i <> k then
+        for x = 0 to P.last_index pat i do
+          for z = 1 to P.last_index pat k do
+            if
+              Rdt_pattern.Tdv.trackable tdv (i, x) (k, z - 1)
+              && Rdt_pattern.Tdv.trackable tdv (k, z) (i, x)
+            then incr bad
+          done
+        done
+    done
+  done;
+  !bad
+
+let test_lemma_41 () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:250 ~seed:3 pname in
+      Alcotest.(check int) (pname ^ ": lemma 4.1") 0 (lemma_41_violations r.Runtime.pattern))
+    protocols_under_test;
+  let r = run ~n:4 ~messages:250 ~seed:3 "none" in
+  check "baseline violates lemma 4.1" true (lemma_41_violations r.Runtime.pattern > 0)
+
+(* Lemma 4.2: a message m from I_{i,x} to I_{j,y} extends every trackable
+   dependency of C_{i,x} to C_{j,y}.  Not universal — m may have been sent
+   before the dependency reached P_i — so it is exactly where the
+   protocols earn their keep. *)
+let lemma_42_holds pat =
+  let tdv = Rdt_pattern.Tdv.compute pat in
+  let ok = ref true in
+  Array.iter
+    (fun (m : Rdt_pattern.Types.message) ->
+      let src_vec = Rdt_pattern.Tdv.at tdv (m.src, m.send_interval) in
+      let dst_vec = Rdt_pattern.Tdv.at tdv (m.dst, m.recv_interval) in
+      Array.iteri (fun k z -> if dst_vec.(k) < z then ok := false) src_vec;
+      if dst_vec.(m.src) < m.send_interval then ok := false)
+    (P.messages pat);
+  !ok
+
+let test_lemma_42 () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:250 ~seed:6 pname in
+      check (pname ^ ": lemma 4.2") true (lemma_42_holds r.Runtime.pattern))
+    protocols_under_test;
+  let r = run ~envname:"client-server" ~n:5 ~messages:400 ~seed:1 "none" in
+  check "baseline violates lemma 4.2" false (lemma_42_holds r.Runtime.pattern)
+
+(* Lemma 4.3: under the protocol, trackability is transitive.  Like
+   Lemma 4.2 this is NOT universal (a chain realising the second leg may
+   leave its interval before the first dependency arrived), so it is
+   tested on protocol runs, not on arbitrary patterns. *)
+let lemma_43_holds pat =
+  let tdv = Rdt_pattern.Tdv.compute pat in
+  let cks =
+    P.fold_ckpts pat ~init:[] ~f:(fun acc c ->
+        (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) :: acc)
+  in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          List.for_all
+            (fun c ->
+              (not (Rdt_pattern.Tdv.trackable tdv a b && Rdt_pattern.Tdv.trackable tdv b c))
+              || Rdt_pattern.Tdv.trackable tdv a c)
+            cks)
+        cks)
+    cks
+
+let test_lemma_43 () =
+  List.iter
+    (fun pname ->
+      let r = run ~n:4 ~messages:150 ~seed:2 pname in
+      check (pname ^ ": lemma 4.3") true (lemma_43_holds r.Runtime.pattern))
+    protocols_under_test
+
+(* Definitional subtlety, pinned: the event-pattern protocols realise the
+   literal per-interval Definition 3.3 (every Z-path leaving an interval
+   has a causal sibling leaving the *same* interval); the TDV family only
+   guarantees vector-level trackability, and strict gaps do occur in its
+   runs even though RDT (the TDV property) holds. *)
+let test_strict_definition_gap () =
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun seed ->
+          let r = run ~envname:"random" ~n:5 ~messages:300 ~seed pname in
+          Alcotest.(check int)
+            (pname ^ ": no strict gaps")
+            0
+            (Checker.strict_gaps r.Runtime.pattern))
+        [ 1; 2; 3 ])
+    [ "cbr"; "nras"; "cas" ];
+  let bhmr_gaps = ref 0 in
+  List.iter
+    (fun seed ->
+      let r = run ~envname:"random" ~n:5 ~messages:300 ~seed "bhmr" in
+      bhmr_gaps := !bhmr_gaps + Checker.strict_gaps r.Runtime.pattern;
+      (* and yet the RDT property itself holds *)
+      check "RDT still holds" true (Checker.check r.Runtime.pattern).Checker.rdt)
+    [ 1; 2; 3 ];
+  check "bhmr has strict gaps" true (!bhmr_gaps > 0)
+
+(* Wang's direct calculations agree with the orphan-elimination fixpoints
+   on RDT patterns, for singletons and for cross-process pairs. *)
+let test_wang_direct_calculations () =
+  List.iter
+    (fun (pname, envname) ->
+      let r = run ~envname ~n:4 ~messages:250 ~seed:6 pname in
+      let pat = r.Runtime.pattern in
+      let cks =
+        P.fold_ckpts pat ~init:[] ~f:(fun acc c ->
+            (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) :: acc)
+      in
+      let sets =
+        List.map (fun c -> [ c ]) cks
+        @ List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun b -> if fst a < fst b && (snd a + snd b) mod 3 = 0 then Some [ a; b ] else None)
+                cks)
+            cks
+      in
+      List.iter
+        (fun set ->
+          let mn_direct = Min_gcp.minimum_by_tdv pat set in
+          let mn_fix = Min_gcp.minimum_of_set pat set in
+          if mn_direct <> mn_fix then
+            Alcotest.failf "%s/%s: minimum_by_tdv disagrees with the fixpoint" pname envname;
+          let mx_direct = Min_gcp.maximum_by_rgraph pat set in
+          let mx_fix = Min_gcp.maximum_of_set pat set in
+          if mx_direct <> mx_fix then
+            Alcotest.failf "%s/%s: maximum_by_rgraph disagrees with the fixpoint" pname envname)
+        sets)
+    [ ("bhmr", "random"); ("fdas", "client-server"); ("cbr", "prodcons") ]
+
+(* Checker coherence on arbitrary (protocol-free) patterns: the three
+   verdicts must agree even on RDT-violating patterns. *)
+let checkers_agree_on_random_patterns =
+  QCheck.Test.make ~name:"three RDT checkers agree on random patterns" ~count:120
+    Rdt_test_helpers.Gen.pattern_arbitrary (fun pat ->
+      let a = (Checker.check pat).Checker.rdt in
+      let b = (Checker.check_chains pat).Checker.rdt in
+      let c = (Checker.check_doubling pat).Checker.rdt in
+      a = b && b = c)
+
+let corollary_iff_checkable =
+  QCheck.Test.make ~name:"RDT implies Corollary 4.5 on random patterns" ~count:60
+    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+      let rdt = (Checker.check pat).Checker.rdt in
+      (not rdt) || Min_gcp.corollary_holds pat)
+
+let () =
+  Alcotest.run "rdt_core"
+    [
+      ( "control",
+        [
+          Alcotest.test_case "bits" `Quick test_control_bits;
+          Alcotest.test_case "tdv access" `Quick test_control_tdv_access;
+        ] );
+      ( "predicates",
+        [
+          Alcotest.test_case "new_dep" `Quick test_predicates_new_dep;
+          Alcotest.test_case "c1" `Quick test_predicates_c1;
+          Alcotest.test_case "c2" `Quick test_predicates_c2;
+          Alcotest.test_case "c2'" `Quick test_predicates_c2';
+          Alcotest.test_case "fdas/fdi" `Quick test_predicates_fdas_fdi;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "bhmr C2 scenario (fig. 4)" `Quick test_bhmr_c2_scenario;
+          Alcotest.test_case "bhmr C2 negative" `Quick test_bhmr_c2_negative;
+          Alcotest.test_case "bhmr C1 sibling knowledge (fig. 3)" `Quick
+            test_bhmr_c1_sibling_knowledge;
+          Alcotest.test_case "bhmr C1 fires without knowledge" `Quick
+            test_bhmr_c1_fires_without_knowledge;
+          Alcotest.test_case "bhmr TDV maintenance" `Quick test_bhmr_tdv_maintenance;
+          Alcotest.test_case "event-pattern protocols" `Quick test_simple_protocols_forcing_rules;
+          Alcotest.test_case "bcs index rule" `Quick test_bcs_scenario;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "deterministic" `Quick test_runtime_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_runtime_seed_matters;
+          Alcotest.test_case "message budget" `Quick test_runtime_message_budget;
+          Alcotest.test_case "valid patterns" `Quick test_runtime_valid_pattern;
+          Alcotest.test_case "bad config" `Quick test_runtime_bad_config;
+          Alcotest.test_case "forced counts" `Quick test_runtime_forced_counts_match_pattern;
+        ] );
+      ( "rdt-property",
+        [
+          Alcotest.test_case "all protocols × all environments" `Slow test_rdt_matrix;
+          Alcotest.test_case "checkers agree on protocol runs" `Quick
+            test_rdt_checkers_agree_on_protocol_runs;
+          Alcotest.test_case "baseline violates RDT" `Quick test_none_violates_rdt;
+          Alcotest.test_case "online TDV faithful" `Quick test_online_tdv_consistent;
+          Alcotest.test_case "no useless checkpoints" `Quick test_no_useless_checkpoints_under_rdt;
+          Alcotest.test_case "bcs: useful but not RDT" `Quick test_bcs_no_useless_but_not_rdt;
+          Alcotest.test_case "predicate hierarchy" `Quick test_hierarchy_no_violations;
+          Alcotest.test_case "conservativeness ordering" `Quick test_conservativeness_ordering;
+          Alcotest.test_case "strict Definition 3.3 gap" `Quick test_strict_definition_gap;
+          Alcotest.test_case "Lemma 4.1" `Quick test_lemma_41;
+          Alcotest.test_case "Lemma 4.2" `Quick test_lemma_42;
+          Alcotest.test_case "Lemma 4.3" `Quick test_lemma_43;
+          qt checkers_agree_on_random_patterns;
+        ] );
+      ( "min-gcp",
+        [
+          Alcotest.test_case "Corollary 4.5 per protocol" `Quick test_corollary_45;
+          Alcotest.test_case "Corollary needs RDT" `Quick test_corollary_45_fails_without_rdt;
+          Alcotest.test_case "of_tdv = brute force" `Quick test_min_gcp_of_tdv_matches_brute;
+          Alcotest.test_case "max GCP exists" `Quick test_max_gcp_exists_under_rdt;
+          Alcotest.test_case "Wang's direct calculations" `Slow test_wang_direct_calculations;
+          qt corollary_iff_checkable;
+        ] );
+    ]

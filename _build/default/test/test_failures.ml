@@ -1,0 +1,163 @@
+(* Tests for rdt_failures: online crashes, rollback, protocol-state
+   restoration, and message replay. *)
+
+module CS = Rdt_failures.Crash_sim
+module P = Rdt_pattern.Pattern
+module Checker = Rdt_core.Checker
+module Consistency = Rdt_pattern.Consistency
+
+let check = Alcotest.(check bool)
+let qt = QCheck_alcotest.to_alcotest
+
+let config ?(n = 5) ?(seed = 7) ?(messages = 800) ?(envname = "random") ?(crashes = []) pname =
+  let p = Rdt_core.Registry.find_exn pname in
+  let env = Rdt_workloads.Registry.find_exn envname in
+  { (CS.default_config env p) with CS.n; seed; max_messages = messages; crashes }
+
+let one_crash = [ { CS.victim = 2; at = 2500; repair_delay = 200 } ]
+
+let three_crashes =
+  [
+    { CS.victim = 2; at = 2000; repair_delay = 200 };
+    { CS.victim = 0; at = 4500; repair_delay = 300 };
+    { CS.victim = 2; at = 7000; repair_delay = 150 };
+  ]
+
+let test_no_crash_baseline () =
+  (* without crashes the simulation must behave like a normal run *)
+  let r = CS.run (config "bhmr") in
+  Alcotest.(check int) "no recoveries" 0 (List.length r.recoveries);
+  Alcotest.(check int) "budget delivered" 800 r.metrics.CS.messages_delivered;
+  Alcotest.(check int) "nothing undone" 0 r.metrics.CS.total_events_undone;
+  check "valid" true (Result.is_ok (P.validate r.pattern));
+  check "rdt" true (Checker.check r.pattern).Checker.rdt
+
+let test_rdt_survives_crashes () =
+  (* the surviving execution of an RDT protocol must satisfy RDT, with
+     the on-line vectors still faithful after state restorations *)
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun envname ->
+          let r = CS.run (config ~envname ~crashes:three_crashes pname) in
+          Alcotest.(check int) (pname ^ " three recoveries") 3 (List.length r.recoveries);
+          if not (Checker.check r.pattern).Checker.rdt then
+            Alcotest.failf "%s on %s: RDT violated after recovery" pname envname;
+          check (pname ^ " online tdv") true (Checker.online_tdv_consistent r.pattern);
+          check (pname ^ " valid") true (Result.is_ok (P.validate r.pattern)))
+        [ "random"; "client-server" ])
+    [ "bhmr"; "bhmr-v1"; "fdas"; "cbr"; "cas" ]
+
+let test_recovery_lines_consistent () =
+  let r = CS.run (config ~crashes:three_crashes "bhmr") in
+  (* each recorded recovery line must be a consistent global checkpoint of
+     the *surviving* pattern whenever its checkpoints survived; at minimum
+     the victim's entry never exceeds its last durable checkpoint *)
+  List.iter
+    (fun (rc : CS.recovery) ->
+      check "line entries nonnegative" true (Array.for_all (fun x -> x >= 0) rc.CS.line))
+    r.recoveries;
+  check "lines are monotone across recoveries" true
+    (let rec mono = function
+       | (a : CS.recovery) :: (b : CS.recovery) :: rest ->
+           Array.for_all2 ( <= ) a.CS.line b.CS.line && mono (b :: rest)
+       | [ _ ] | [] -> true
+     in
+     mono r.recoveries)
+
+let test_domino_under_none () =
+  let surgical = CS.run (config ~messages:1200 ~crashes:three_crashes "bhmr") in
+  let domino = CS.run (config ~messages:1200 ~crashes:three_crashes "none") in
+  check "none undoes far more work" true
+    (domino.metrics.CS.total_events_undone > 10 * surgical.metrics.CS.total_events_undone);
+  (* both executions remain structurally valid *)
+  check "none still valid" true (Result.is_ok (P.validate domino.pattern))
+
+let test_replay_accounting () =
+  let r = CS.run (config ~crashes:one_crash "bhmr") in
+  let rc = List.hd r.recoveries in
+  check "replays bounded by undone deliveries" true
+    (rc.CS.messages_replayed <= rc.CS.events_undone);
+  (* every message in the final pattern is delivered exactly once *)
+  Alcotest.(check int) "pattern messages = delivered" r.metrics.CS.messages_delivered
+    (P.num_messages r.pattern)
+
+let test_deterministic () =
+  let a = CS.run (config ~crashes:three_crashes "bhmr") in
+  let b = CS.run (config ~crashes:three_crashes "bhmr") in
+  check "same recoveries" true
+    (List.map (fun (rc : CS.recovery) -> rc.CS.line) a.recoveries
+    = List.map (fun (rc : CS.recovery) -> rc.CS.line) b.recoveries);
+  Alcotest.(check int) "same undone" a.metrics.CS.total_events_undone
+    b.metrics.CS.total_events_undone
+
+let test_crash_while_idle_process () =
+  (* crashing a process that has no volatile state loses nothing of its own *)
+  let crashes = [ { CS.victim = 1; at = 1; repair_delay = 50 } ] in
+  let r = CS.run (config ~crashes "bhmr") in
+  check "recovered" true (List.length r.recoveries = 1);
+  check "rdt" true (Checker.check r.pattern).Checker.rdt
+
+let test_validation () =
+  Alcotest.check_raises "bad victim" (Invalid_argument "Crash_sim: victim out of range")
+    (fun () ->
+      ignore (CS.run (config ~crashes:[ { CS.victim = 9; at = 10; repair_delay = 10 } ] "bhmr")));
+  Alcotest.check_raises "overlapping crashes"
+    (Invalid_argument "Crash_sim: overlapping crashes of the same process") (fun () ->
+      ignore
+        (CS.run
+           (config
+              ~crashes:
+                [
+                  { CS.victim = 1; at = 100; repair_delay = 500 };
+                  { CS.victim = 1; at = 200; repair_delay = 100 };
+                ]
+              "bhmr")));
+  Alcotest.check_raises "zero repair" (Invalid_argument "Crash_sim: repair_delay must be >= 1")
+    (fun () ->
+      ignore (CS.run (config ~crashes:[ { CS.victim = 1; at = 100; repair_delay = 0 } ] "bhmr")))
+
+let crash_rdt_property =
+  QCheck.Test.make ~name:"RDT survives random crash plans" ~count:25
+    QCheck.(triple (int_bound 4) (int_bound 3) small_nat)
+    (fun (victim, n_crashes, seed) ->
+      let crashes =
+        List.init (1 + n_crashes) (fun k ->
+            { CS.victim = victim mod 4; at = 1500 * (k + 1); repair_delay = 100 + (37 * k) })
+      in
+      let r = CS.run (config ~n:4 ~seed:(seed + 1) ~messages:400 ~crashes "bhmr") in
+      (Checker.check r.pattern).Checker.rdt
+      && Checker.online_tdv_consistent r.pattern
+      && Result.is_ok (P.validate r.pattern))
+
+let crash_consistency_property =
+  QCheck.Test.make ~name:"surviving pattern has no useless checkpoints (bhmr)" ~count:15
+    QCheck.(pair (int_bound 4) small_nat)
+    (fun (victim, seed) ->
+      let crashes = [ { CS.victim = victim mod 4; at = 2000; repair_delay = 150 } ] in
+      let r = CS.run (config ~n:4 ~seed:(seed + 1) ~messages:300 ~crashes "bhmr") in
+      let ok = ref true in
+      P.iter_ckpts r.pattern (fun c ->
+          if
+            Consistency.useless r.pattern
+              (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
+          then ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "rdt_failures"
+    [
+      ( "crash-sim",
+        [
+          Alcotest.test_case "no crashes = plain run" `Quick test_no_crash_baseline;
+          Alcotest.test_case "RDT survives crashes" `Quick test_rdt_survives_crashes;
+          Alcotest.test_case "recovery lines monotone" `Quick test_recovery_lines_consistent;
+          Alcotest.test_case "domino under none" `Quick test_domino_under_none;
+          Alcotest.test_case "replay accounting" `Quick test_replay_accounting;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "early crash" `Quick test_crash_while_idle_process;
+          Alcotest.test_case "validation" `Quick test_validation;
+          qt crash_rdt_property;
+          qt crash_consistency_property;
+        ] );
+    ]
