@@ -59,17 +59,118 @@ let messages_arg =
   Arg.(
     value & opt int 2000 & info [ "m"; "messages" ] ~docv:"M" ~doc:"Application message budget.")
 
-let config env protocol n seed messages =
+(* ---- network-fault flags (shared by run, verify and crashrun) ---- *)
+
+let partition_conv =
+  let parse s =
+    let fail () =
+      Error (`Msg (Printf.sprintf "bad partition %S (expected PIDS:FROM-TO, e.g. 0,3:4000-6000)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ pids; window ] -> (
+        match String.split_on_char '-' window with
+        | [ a; b ] -> (
+            try
+              Ok
+                {
+                  Rdt_dist.Faults.between =
+                    List.map int_of_string (String.split_on_char ',' pids);
+                  from_t = int_of_string a;
+                  to_t = int_of_string b;
+                }
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf (p : Rdt_dist.Faults.partition) =
+    Format.fprintf ppf "%s:%d-%d"
+      (String.concat "," (List.map string_of_int p.between))
+      p.from_t p.to_t
+  in
+  Arg.conv (parse, print)
+
+let faults_term =
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Per-packet drop probability; any fault flag routes messages through the \
+                reliable-delivery transport.")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P" ~doc:"Probability a packet is duplicated by the network.")
+  in
+  let reorder =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:"Probability a packet is held back by an adversarial extra delay.")
+  in
+  let reorder_window =
+    Arg.(
+      value & opt int 50
+      & info [ "reorder-window" ] ~docv:"W"
+          ~doc:"Maximum extra delay of a held-back packet (with $(b,--reorder)).")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt_all partition_conv []
+      & info [ "partition" ] ~docv:"PIDS:FROM-TO"
+          ~doc:"Cut the comma-separated processes off from everyone else between the two \
+                instants, e.g. $(b,3:4000-6000) (repeatable).")
+  in
+  let retx_timeout =
+    Arg.(
+      value
+      & opt int Rdt_dist.Transport.default_params.retx_timeout
+      & info [ "retx-timeout" ] ~docv:"T" ~doc:"Initial retransmission timeout of the transport.")
+  in
+  let max_retx =
+    Arg.(
+      value
+      & opt int Rdt_dist.Transport.default_params.max_retx
+      & info [ "max-retx" ] ~docv:"K"
+          ~doc:"Retransmissions before a message is abandoned as undeliverable.")
+  in
+  let mk drop dup reorder reorder_window partitions retx_timeout max_retx =
+    let spec =
+      {
+        Rdt_dist.Faults.drop;
+        dup;
+        reorder;
+        reorder_window = (if reorder > 0.0 then reorder_window else 0);
+        partitions;
+      }
+    in
+    let params = { Rdt_dist.Transport.default_params with retx_timeout; max_retx } in
+    let transport =
+      if Rdt_dist.Faults.is_none spec && params = Rdt_dist.Transport.default_params then None
+      else Some params
+    in
+    (spec, transport)
+  in
+  Term.(
+    const mk $ drop $ dup $ reorder $ reorder_window $ partition $ retx_timeout $ max_retx)
+
+let config env protocol n seed messages (faults, transport) =
   {
     (Rdt_core.Runtime.default_config ((fun (_, f) -> f ()) env) protocol) with
     Rdt_core.Runtime.n;
     seed;
     max_messages = messages;
+    faults;
+    transport;
   }
 
 let print_metrics (r : Rdt_core.Runtime.result) =
   Format.printf "%a@." Rdt_core.Metrics.pp r.metrics;
   Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
+  (match r.transport with
+  | None -> ()
+  | Some s -> Format.printf "%a@." Rdt_dist.Transport.pp_stats s);
   if r.predicate_counts <> [] then
     Format.printf "predicates fired: %s@."
       (String.concat ", "
@@ -89,8 +190,8 @@ let run_cmd =
       & info [ "draw" ]
           ~doc:"Print an ASCII space-time diagram of the run (small runs only).")
   in
-  let action env protocol n seed messages dot draw =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+  let action env protocol n seed messages net dot draw =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
     print_metrics r;
     if draw then begin
       match Rdt_pattern.Render.ascii r.pattern with
@@ -106,12 +207,14 @@ let run_cmd =
         Format.printf "R-graph written to %s@." file
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ dot $ draw)
+    Term.(
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
+      $ dot $ draw)
 
 let verify_cmd =
   let doc = "Simulate one run and verify the RDT property offline (three checkers)." in
-  let action env protocol n seed messages =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+  let action env protocol n seed messages net =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
     print_metrics r;
     let rep = Rdt_core.Checker.check r.pattern in
     Format.printf "R-graph vs TDV     : %a@." Rdt_core.Checker.pp_report rep;
@@ -124,7 +227,7 @@ let verify_cmd =
     if not rep.Rdt_core.Checker.rdt then exit 1
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg)
+    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term)
 
 let experiments_cmd =
   let doc = "Reproduce the paper's figures and tables." in
@@ -148,8 +251,8 @@ let recover_cmd =
           ~doc:"Crash time as a fraction of the run duration; the crashed processes lose every \
                 checkpoint taken after it.")
   in
-  let action env protocol n seed messages crashes at =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages) in
+  let action env protocol n seed messages net crashes at =
+    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
     print_metrics r;
     let pat = r.pattern in
     let crash_time =
@@ -177,7 +280,9 @@ let recover_cmd =
     Format.printf "%a@." Rdt_recovery.Recovery_line.pp_outcome outcome
   in
   Cmd.v (Cmd.info "recover" ~doc)
-    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ crash_arg $ at_arg)
+    Term.(
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
+      $ crash_arg $ at_arg)
 
 let snapshot_cmd =
   let doc = "Run coordinated (Chandy-Lamport) snapshots over a workload and verify the cuts." in
@@ -261,8 +366,9 @@ let crashrun_cmd =
   let repair_arg =
     Arg.(value & opt int 200 & info [ "repair" ] ~docv:"D" ~doc:"Downtime before recovery.")
   in
-  let action env protocol n seed messages crashes repair =
+  let action env protocol n seed messages net crashes repair =
     let module CS = Rdt_failures.Crash_sim in
+    let faults, transport = net in
     let crashes =
       List.map (fun (victim, at) -> { CS.victim; at; repair_delay = repair }) crashes
     in
@@ -274,6 +380,8 @@ let crashrun_cmd =
           seed;
           max_messages = messages;
           crashes;
+          faults;
+          transport;
         }
     in
     List.iter
@@ -288,14 +396,18 @@ let crashrun_cmd =
       "surviving: %d deliveries, %d basic + %d forced checkpoints, %d events undone total@."
       r.metrics.CS.messages_delivered r.metrics.CS.basic r.metrics.CS.forced
       r.metrics.CS.total_events_undone;
+    if r.metrics.CS.retransmissions + r.metrics.CS.packets_dropped + r.metrics.CS.undeliverable > 0
+    then
+      Format.printf "network: %d retransmissions, %d packets dropped, %d undeliverable@."
+        r.metrics.CS.retransmissions r.metrics.CS.packets_dropped r.metrics.CS.undeliverable;
     Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
     Format.printf "RDT on the surviving execution: %a@." Rdt_core.Checker.pp_report
       (Rdt_core.Checker.check r.pattern)
   in
   Cmd.v (Cmd.info "crashrun" ~doc)
     Term.(
-      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ crash_arg
-      $ repair_arg)
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
+      $ crash_arg $ repair_arg)
 
 let list_cmd =
   let doc = "List available protocols and environments." in
@@ -319,4 +431,10 @@ let main =
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
     [ run_cmd; verify_cmd; experiments_cmd; recover_cmd; snapshot_cmd; twophase_cmd; crashrun_cmd; list_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* config validation (fault specs, transport params, delay models) raises
+     Invalid_argument — render it as a user error, not an internal one *)
+  try exit (Cmd.eval ~catch:false main)
+  with Invalid_argument msg ->
+    Format.eprintf "rdtsim: %s@." msg;
+    exit Cmd.Exit.cli_error

@@ -1,6 +1,8 @@
 module Env = Rdt_dist.Env
 module Rng = Rdt_dist.Rng
 module Channel = Rdt_dist.Channel
+module Faults = Rdt_dist.Faults
+module Transport = Rdt_dist.Transport
 module Event_queue = Rdt_dist.Event_queue
 module Pattern = Rdt_pattern.Pattern
 module Ptypes = Rdt_pattern.Types
@@ -14,6 +16,8 @@ type config = {
   basic_period : int * int;
   max_messages : int;
   max_time : int;
+  faults : Faults.spec;
+  transport : Transport.params option;
 }
 
 let default_config env protocol =
@@ -26,6 +30,8 @@ let default_config env protocol =
     basic_period = (300, 700);
     max_messages = 2000;
     max_time = max_int / 2;
+    faults = Faults.none;
+    transport = None;
   }
 
 type result = {
@@ -33,6 +39,7 @@ type result = {
   metrics : Metrics.t;
   predicate_counts : (string * int) list;
   hierarchy_violations : (string * string) list;
+  transport : Transport.stats option;
 }
 
 (* Implications expected among the named predicates (weaker => stronger in
@@ -52,11 +59,25 @@ let validate_config cfg =
   (match Channel.validate cfg.channel with
   | Ok () -> ()
   | Error e -> invalid_arg ("Runtime: bad channel spec: " ^ e));
+  (match Faults.validate ~n:cfg.n cfg.faults with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Runtime: bad fault spec: " ^ e));
+  (match cfg.transport with
+  | Some p -> (
+      match Transport.validate_params p with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Runtime: bad transport params: " ^ e))
+  | None ->
+      if not (Faults.is_none cfg.faults) then
+        invalid_arg "Runtime: fault injection requires a transport (set cfg.transport)");
   let lo, hi = cfg.basic_period in
   if lo < 0 || hi < lo then invalid_arg "Runtime: bad basic period"
 
-let run cfg =
-  validate_config cfg;
+(* The reliable path: the paper's model verbatim, one [Arrival] event per
+   message.  Kept separate from [run_faulty] so the seed behaviour (RNG
+   stream included) is bit-for-bit unchanged when no transport is
+   configured. *)
+let run_reliable cfg =
   let (module P : Protocol.S) = cfg.protocol in
   let (module E : Env.S) = cfg.env in
   let rng = Rng.create cfg.seed in
@@ -192,4 +213,208 @@ let run cfg =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let hierarchy_violations = Hashtbl.fold (fun k () acc -> k :: acc) violations [] in
-  { pattern; metrics; predicate_counts; hierarchy_violations }
+  { pattern; metrics; predicate_counts; hierarchy_violations; transport = None }
+
+(* ------------------------------------------------------------------ *)
+(* The faulty path: lossy network + reliable-delivery transport         *)
+(* ------------------------------------------------------------------ *)
+
+type fqueued =
+  | FTick of int
+  | FBasic of int
+  | FNet of Transport.wire
+
+(* The pattern cannot be built incrementally on this path: a message the
+   transport abandons ([Undeliverable]) must not appear in it (patterns
+   require every message delivered), but whether a send is abandoned is only
+   known later.  So the run records a global trace and replays it into a
+   [Pattern.Builder] at the end, skipping undeliverable sends — exactly the
+   scheme [Crash_sim] uses for rolled-back events. *)
+type fev =
+  | F_send of int (* app message id *)
+  | F_recv of int
+  | F_internal of int (* pid *)
+  | F_ckpt of { pid : int; kind : Ptypes.ckpt_kind; time : int; tdv : int array option }
+
+let run_faulty cfg params =
+  let (module P : Protocol.S) = cfg.protocol in
+  let (module E : Env.S) = cfg.env in
+  let rng = Rng.create cfg.seed in
+  let env_rng = Rng.split rng in
+  let net_rng = Rng.split rng in
+  let env = E.create ~n:cfg.n ~rng:env_rng in
+  let states = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~pid) in
+  let tp : int Transport.t =
+    Transport.create ~n:cfg.n ~params ~faults:cfg.faults ~channel:cfg.channel ~rng:net_rng
+  in
+  let queue : fqueued Event_queue.t = Event_queue.create () in
+  let trace : fev list ref = ref [] (* reversed; processing order = global order *) in
+  let msg_meta : (int, int * int * Control.t) Hashtbl.t = Hashtbl.create 256 in
+  let undeliverable : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let interval_events = Array.make cfg.n 0 in
+  let basic = ref 0
+  and basic_skipped = ref 0
+  and forced = ref 0
+  and sent = ref 0
+  and internal_events = ref 0
+  and now = ref 0 in
+  let pred_counts : (string, int ref) Hashtbl.t = Hashtbl.create 7 in
+  let violations : (string * string, unit) Hashtbl.t = Hashtbl.create 7 in
+  let take_checkpoint pid kind =
+    trace := F_ckpt { pid; kind; time = !now; tdv = P.tdv states.(pid) } :: !trace;
+    P.on_checkpoint states.(pid);
+    interval_events.(pid) <- 0
+  in
+  (* Initial checkpoints: the builder records them automatically at replay
+     time; mirror them in the protocol states. *)
+  Array.iter P.on_checkpoint states;
+  let basic_enabled = cfg.basic_period <> (0, 0) in
+  let draw_basic_delay () =
+    let lo, hi = cfg.basic_period in
+    Rng.int_in rng lo hi
+  in
+  let record_predicates ~dst ~src payload =
+    let named = P.predicates states.(dst) ~src payload in
+    match named with
+    | [] -> ()
+    | _ ->
+        List.iter
+          (fun (name, v) ->
+            if v then
+              match Hashtbl.find_opt pred_counts name with
+              | Some r -> incr r
+              | None -> Hashtbl.add pred_counts name (ref 1))
+          named;
+        List.iter
+          (fun (weaker, stronger) ->
+            match (List.assoc_opt weaker named, List.assoc_opt stronger named) with
+            | Some true, Some false -> Hashtbl.replace violations (weaker, stronger) ()
+            | _ -> ())
+          expected_implications
+  in
+  (* [Deliver] effects recurse into application reactions (a delivery may
+     trigger sends, which produce further effects), hence the mutual
+     recursion between effect processing and the action handlers. *)
+  let rec process_effects effects =
+    List.iter
+      (function
+        | Transport.Wire { at; wire } -> Event_queue.schedule queue ~time:at (FNet wire)
+        | Transport.Undeliverable { msg = id; _ } -> Hashtbl.replace undeliverable id ()
+        | Transport.Deliver { src; dst; msg = id } ->
+            let _, _, payload = Hashtbl.find msg_meta id in
+            record_predicates ~dst ~src payload;
+            if P.must_force states.(dst) ~src payload then begin
+              incr forced;
+              take_checkpoint dst Ptypes.Forced
+            end;
+            P.absorb states.(dst) ~src payload;
+            trace := F_recv id :: !trace;
+            interval_events.(dst) <- interval_events.(dst) + 1;
+            List.iter (do_action dst) (E.on_deliver env ~pid:dst ~src))
+      effects
+  and send_message ~src ~dst =
+    if !sent < cfg.max_messages && src <> dst then begin
+      let id = !sent in
+      incr sent;
+      let payload = P.make_payload states.(src) ~dst in
+      Hashtbl.replace msg_meta id (src, dst, payload);
+      trace := F_send id :: !trace;
+      interval_events.(src) <- interval_events.(src) + 1;
+      let effects = Transport.send tp ~now:!now ~src ~dst id in
+      (* a checkpoint-after-send checkpoint belongs between the send and
+         any later event of [src], so take it before processing effects *)
+      if P.force_after_send then begin
+        incr forced;
+        take_checkpoint src Ptypes.Forced
+      end;
+      process_effects effects
+    end
+  and do_action pid = function
+    | Env.Send dst -> send_message ~src:pid ~dst
+    | Env.Internal ->
+        trace := F_internal pid :: !trace;
+        interval_events.(pid) <- interval_events.(pid) + 1;
+        incr internal_events
+    | Env.Checkpoint ->
+        if interval_events.(pid) > 0 then begin
+          incr basic;
+          take_checkpoint pid Ptypes.Basic
+        end
+        else incr basic_skipped
+  in
+  for pid = 0 to cfg.n - 1 do
+    Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (FTick pid);
+    if basic_enabled then Event_queue.schedule queue ~time:(draw_basic_delay ()) (FBasic pid)
+  done;
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop queue with
+    | None -> continue := false
+    | Some (t, ev) -> (
+        now := t;
+        match ev with
+        | FTick pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              let { Env.actions; next_tick_in } = E.on_tick env ~pid in
+              List.iter (do_action pid) actions;
+              match next_tick_in with
+              | Some d -> Event_queue.schedule queue ~time:(t + max 1 d) (FTick pid)
+              | None -> ()
+            end
+        | FBasic pid ->
+            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+              do_action pid Env.Checkpoint;
+              Event_queue.schedule queue ~time:(t + draw_basic_delay ()) (FBasic pid)
+            end
+        | FNet wire -> process_effects (Transport.handle tp ~now:!now wire))
+  done;
+  (* the queue drained, so every message is settled: delivered or abandoned *)
+  assert (Transport.in_flight tp = 0);
+  let builder = Pattern.Builder.create ~n:cfg.n in
+  let handles = Hashtbl.create 256 in
+  List.iter
+    (function
+      | F_send id ->
+          if not (Hashtbl.mem undeliverable id) then begin
+            let src, dst, _ = Hashtbl.find msg_meta id in
+            Hashtbl.replace handles id (Pattern.Builder.send builder ~src ~dst)
+          end
+      | F_recv id -> Pattern.Builder.recv builder (Hashtbl.find handles id)
+      | F_internal pid -> Pattern.Builder.internal builder pid
+      | F_ckpt { pid; kind; time; tdv } ->
+          ignore (Pattern.Builder.checkpoint ~kind ?tdv ~time builder pid))
+    (List.rev !trace);
+  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let metrics =
+    {
+      Metrics.n = cfg.n;
+      protocol = P.name;
+      environment = E.name;
+      seed = cfg.seed;
+      basic = !basic;
+      basic_skipped = !basic_skipped;
+      forced = !forced;
+      (* delivered messages only, matching the pattern: abandoned sends
+         are excluded from both *)
+      messages = !sent - Hashtbl.length undeliverable;
+      internal_events = !internal_events;
+      payload_bits_per_msg = P.payload_bits ~n:cfg.n;
+      duration = !now;
+    }
+  in
+  let predicate_counts =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let hierarchy_violations = Hashtbl.fold (fun k () acc -> k :: acc) violations [] in
+  {
+    pattern;
+    metrics;
+    predicate_counts;
+    hierarchy_violations;
+    transport = Some (Transport.stats tp);
+  }
+
+let run cfg =
+  validate_config cfg;
+  match cfg.transport with None -> run_reliable cfg | Some params -> run_faulty cfg params

@@ -32,15 +32,25 @@ type config = {
           range; [(0, 0)] disables basic checkpoints *)
   max_messages : int;  (** budget of application messages *)
   max_time : int;  (** spontaneous activity stops after this time *)
+  faults : Rdt_dist.Faults.spec;
+      (** network faults injected below the transport; requires
+          [transport <> None] unless {!Rdt_dist.Faults.none} *)
+  transport : Rdt_dist.Transport.params option;
+      (** [None] (the default) runs the paper's reliable channels exactly
+          as before; [Some params] routes every message through the
+          reliable-delivery transport over the faulty network *)
 }
 
 val default_config : Rdt_dist.Env.t -> Protocol.t -> config
 (** 8 processes, seed 1, uniform channel delays in [\[5; 100\]], basic
-    period in [\[300; 700\]], 2000 messages.  Fields are meant to be
-    overridden with [{ (default_config e p) with ... }]. *)
+    period in [\[300; 700\]], 2000 messages, no faults, no transport.
+    Fields are meant to be overridden with
+    [{ (default_config e p) with ... }]. *)
 
 type result = {
   pattern : Rdt_pattern.Pattern.t;
+      (** the delivered communication: a message the transport abandoned
+          as undeliverable appears in neither sends nor deliveries *)
   metrics : Metrics.t;
   predicate_counts : (string * int) list;
       (** how many deliveries evaluated each named predicate to true *)
@@ -48,10 +58,16 @@ type result = {
       (** pairs [(weaker, stronger)] observed violating the expected
           implication weaker => stronger at some delivery; always expected
           empty, recorded for the test suite *)
+  transport : Rdt_dist.Transport.stats option;
+      (** retransmission/ack/drop accounting; [None] on the reliable
+          path *)
 }
 
 val run : config -> result
 (** Executes the configured run to completion (message budget exhausted
-    and all channels drained), ending with a final checkpoint per
-    process.
-    @raise Invalid_argument on nonsensical configurations. *)
+    and all channels drained — with a transport, every message ends
+    delivered or reported undeliverable in [transport] stats), ending with
+    a final checkpoint per process.  The protocol sees each message at
+    most once, at its first in-order arrival.
+    @raise Invalid_argument on nonsensical configurations (bad channel or
+    fault specs, faults without a transport, bad transport params). *)

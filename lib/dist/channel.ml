@@ -11,11 +11,13 @@ let validate = function
   | Bimodal { fast; slow; slow_prob } when fast >= 1 && slow >= fast && slow_prob >= 0.0 && slow_prob <= 1.0 -> Ok ()
   | Bimodal _ -> Error "Bimodal delay requires 1 <= fast <= slow and slow_prob in [0;1]"
 
+(* No clamping here: specs are rejected up front ({!validate} is enforced
+   at every config entry point), so for any spec that got this far the
+   drawn delay is already >= 1. *)
 let sample rng = function
-  | Fixed d -> max 1 d
-  | Uniform (lo, hi) -> Rng.int_in rng (max 1 lo) (max 1 hi)
-  | Bimodal { fast; slow; slow_prob } ->
-      if Rng.bernoulli rng slow_prob then max 1 slow else max 1 fast
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Rng.int_in rng lo hi
+  | Bimodal { fast; slow; slow_prob } -> if Rng.bernoulli rng slow_prob then slow else fast
 
 let pp ppf = function
   | Fixed d -> Format.fprintf ppf "fixed(%d)" d

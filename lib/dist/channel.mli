@@ -17,7 +17,10 @@ type spec =
           model of a congested link that creates deep message overtaking. *)
 
 val sample : Rng.t -> spec -> int
-(** [sample rng spec] draws a delay [>= 1]. *)
+(** [sample rng spec] draws a delay; [>= 1] for any spec accepted by
+    {!validate}.  [sample] does not re-validate — config entry points
+    ({!Rdt_core.Runtime.run}, [Crash_sim.run]) reject bad specs with
+    [Invalid_argument] instead of silently clamping here. *)
 
 val validate : spec -> (unit, string) result
 (** Checks bounds are positive and ordered. *)

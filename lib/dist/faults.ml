@@ -1,0 +1,59 @@
+type partition = { between : int list; from_t : int; to_t : int }
+
+type spec = {
+  drop : float;
+  dup : float;
+  reorder : float;
+  reorder_window : int;
+  partitions : partition list;
+}
+
+let none = { drop = 0.0; dup = 0.0; reorder = 0.0; reorder_window = 0; partitions = [] }
+
+let is_none s = s = none
+
+let validate ~n s =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then Error (Printf.sprintf "%s probability must be in [0;1]" name)
+    else Ok ()
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  prob "drop" s.drop >>= fun () ->
+  prob "dup" s.dup >>= fun () ->
+  prob "reorder" s.reorder >>= fun () ->
+  (if s.reorder_window < 0 then Error "reorder_window must be >= 0"
+   else if s.reorder > 0.0 && s.reorder_window = 0 then
+     Error "reorder > 0 requires a positive reorder_window"
+   else Ok ())
+  >>= fun () ->
+  let rec check_partitions = function
+    | [] -> Ok ()
+    | p :: rest ->
+        if p.between = [] then Error "partition with an empty group"
+        else if List.exists (fun pid -> pid < 0 || pid >= n) p.between then
+          Error "partition member out of range"
+        else if p.from_t < 0 || p.to_t < p.from_t then
+          Error "partition requires 0 <= from_t <= to_t"
+        else check_partitions rest
+  in
+  check_partitions s.partitions
+
+let cuts s ~time ~src ~dst =
+  List.exists
+    (fun p ->
+      time >= p.from_t && time < p.to_t
+      && List.mem src p.between <> List.mem dst p.between)
+    s.partitions
+
+let pp ppf s =
+  if is_none s then Format.fprintf ppf "reliable"
+  else begin
+    Format.fprintf ppf "drop=%.3f dup=%.3f reorder=%.3f/%d" s.drop s.dup s.reorder
+      s.reorder_window;
+    List.iter
+      (fun p ->
+        Format.fprintf ppf " partition{%s}@@[%d;%d)"
+          (String.concat "," (List.map string_of_int p.between))
+          p.from_t p.to_t)
+      s.partitions
+  end

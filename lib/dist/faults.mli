@@ -1,0 +1,49 @@
+(** Deterministic network-fault injection.
+
+    The paper's computational model assumes reliable asynchronous channels
+    with finite delays; a {!spec} describes how far a simulated network is
+    allowed to deviate from that model.  Packets (not application messages
+    — the {!Transport} layer sits in between) are independently lost,
+    duplicated and adversarially delayed, and scheduled bidirectional
+    partitions silence whole groups of links for a time window.
+
+    All sampling is driven by an {!Rng.t} owned by the caller, so a faulty
+    run remains a pure function of its configuration: same seed, same fault
+    spec, same packet fates. *)
+
+type partition = {
+  between : int list;
+      (** the processes cut off from everyone else; links {e inside} the
+          group and links {e among} the rest keep working *)
+  from_t : int;  (** first instant (inclusive) at which the cut is active *)
+  to_t : int;  (** first instant at which the cut has healed (exclusive) *)
+}
+
+type spec = {
+  drop : float;  (** per-packet-copy loss probability, in [\[0;1\]] *)
+  dup : float;  (** probability a packet is duplicated by the network *)
+  reorder : float;
+      (** probability a packet copy is held back by an adversarial extra
+          delay — burst reordering beyond what the delay distribution
+          already produces *)
+  reorder_window : int;
+      (** the extra delay is drawn uniformly in [\[1; reorder_window\]];
+          must be positive whenever [reorder > 0] *)
+  partitions : partition list;
+}
+
+val none : spec
+(** No faults: the reliable network of the paper. *)
+
+val is_none : spec -> bool
+
+val validate : n:int -> spec -> (unit, string) result
+(** Probabilities in range, windows ordered, partition members valid pids
+    ([n] is the number of processes). *)
+
+val cuts : spec -> time:int -> src:int -> dst:int -> bool
+(** Is the (bidirectional) link between [src] and [dst] severed by an
+    active partition at [time]?  A transmission attempted at such an
+    instant is lost. *)
+
+val pp : Format.formatter -> spec -> unit

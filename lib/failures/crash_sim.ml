@@ -2,6 +2,8 @@ module Env = Rdt_dist.Env
 module Rng = Rdt_dist.Rng
 module Channel = Rdt_dist.Channel
 module Event_queue = Rdt_dist.Event_queue
+module Faults = Rdt_dist.Faults
+module Transport = Rdt_dist.Transport
 module Pattern = Rdt_pattern.Pattern
 module Ptypes = Rdt_pattern.Types
 module Protocol = Rdt_core.Protocol
@@ -18,6 +20,8 @@ type config = {
   max_messages : int;
   max_time : int;
   crashes : crash list;
+  faults : Faults.spec;
+  transport : Transport.params option;
 }
 
 let default_config env protocol =
@@ -31,6 +35,8 @@ let default_config env protocol =
     max_messages = 2000;
     max_time = max_int / 2;
     crashes = [];
+    faults = Faults.none;
+    transport = None;
   }
 
 type recovery = {
@@ -49,6 +55,9 @@ type metrics = {
   duration : int;
   total_events_undone : int;
   total_messages_replayed : int;
+  retransmissions : int;
+  packets_dropped : int;
+  undeliverable : int;
 }
 
 type result = { pattern : Pattern.t; recoveries : recovery list; metrics : metrics }
@@ -62,6 +71,7 @@ type msg_status =
   | Delivered
   | Dead  (** its send was rolled back; never to be delivered *)
   | Replay  (** delivered once, delivery rolled back; awaiting replay *)
+  | Undeliv  (** abandoned by the transport after [max_retx] retries *)
 
 type msg = {
   m_id : int;
@@ -71,6 +81,13 @@ type msg = {
   m_payload : Rdt_core.Control.t;
   mutable m_recv_interval : int; (* -1 until (re)delivered *)
   mutable m_status : msg_status;
+  (* networked mode: per-message stop-and-wait retransmission state.  A
+     generation counter stamps each (re)start of the retransmission loop
+     so that timers surviving a rollback or a crash go stale instead of
+     double-driving the message. *)
+  mutable m_attempts : int;
+  mutable m_acked : bool;
+  mutable m_gen : int;
 }
 
 type ckpt_meta = {
@@ -92,13 +109,27 @@ type queued =
   | Basic of int * int
   | Crash of crash
   | Repair of crash
-  | Arrival of int (* msg id *)
+  | Arrival of int (* msg id; reliable (non-networked) mode only *)
+  | Packet of int (* msg id: one network copy of the data reaching dst *)
+  | AckPkt of int (* msg id: the acknowledgement reaching src *)
+  | Retx of int * int (* msg id, generation: retransmission timer *)
 
 let validate cfg =
   if cfg.n < 2 then invalid_arg "Crash_sim: n must be >= 2";
   (match Channel.validate cfg.channel with
   | Ok () -> ()
   | Error e -> invalid_arg ("Crash_sim: bad channel spec: " ^ e));
+  (match Faults.validate ~n:cfg.n cfg.faults with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Crash_sim: bad fault spec: " ^ e));
+  (match cfg.transport with
+  | Some p -> (
+      match Transport.validate_params p with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Crash_sim: bad transport params: " ^ e))
+  | None ->
+      if not (Faults.is_none cfg.faults) then
+        invalid_arg "Crash_sim: fault injection requires a transport");
   let per_pid = Hashtbl.create 7 in
   List.iter
     (fun c ->
@@ -118,6 +149,13 @@ let run cfg =
   let (module E : Env.S) = cfg.env in
   let rng = Rng.create cfg.seed in
   let env = E.create ~n:cfg.n ~rng:(Rng.split rng) in
+  let networked = cfg.transport <> None in
+  (* the network stream is split only on the networked path so that
+     transport-free runs keep the exact RNG stream (and hence results) of
+     the original crash simulator *)
+  let net_rng = if networked then Rng.split rng else rng in
+  let tparams = match cfg.transport with Some p -> p | None -> Transport.default_params in
+  let retransmissions = ref 0 and packets_dropped = ref 0 and undeliverable = ref 0 in
   let states = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~pid) in
   let queue : queued Event_queue.t = Event_queue.create () in
   let now = ref 0 in
@@ -165,6 +203,66 @@ let run cfg =
   for pid = 0 to cfg.n - 1 do
     take_checkpoint pid Ptypes.Initial
   done;
+  (* --------- networked mode: faulty links + per-message stop-and-wait ----
+     The sliding-window {!Rdt_dist.Transport} assumes immutable link
+     history, which rollback breaks (sends are undone, deliveries are
+     replayed), so crashes compose with faults through a simpler
+     per-message protocol: transmit, await ack, retransmit with the same
+     exponential backoff + jitter, abandon as [Undeliv] after [max_retx]
+     retries.  Exactly-once delivery is enforced by [m_status]; stale
+     timers are retired by the generation counter. *)
+  let rto k =
+    let f = min (tparams.Transport.backoff ** float_of_int k) 32.0 in
+    max 1 (int_of_float (float_of_int tparams.Transport.retx_timeout *. f))
+  in
+  let jitter () =
+    if tparams.Transport.jitter > 0 then Rng.int_in net_rng 0 tparams.Transport.jitter else 0
+  in
+  let through ~src ~dst mk =
+    (* one attempt through the faulty network: a partition cut loses the
+       whole attempt; otherwise each (possibly duplicated) copy is
+       independently dropped and delayed *)
+    if Faults.cuts cfg.faults ~time:!now ~src ~dst then incr packets_dropped
+    else
+      let copies = if Rng.bernoulli net_rng cfg.faults.Faults.dup then 2 else 1 in
+      for _ = 1 to copies do
+        if Rng.bernoulli net_rng cfg.faults.Faults.drop then incr packets_dropped
+        else begin
+          let d = Channel.sample net_rng cfg.channel in
+          let d =
+            if cfg.faults.Faults.reorder > 0.0 && Rng.bernoulli net_rng cfg.faults.Faults.reorder
+            then d + Rng.int_in net_rng 1 cfg.faults.Faults.reorder_window
+            else d
+          in
+          Event_queue.schedule queue ~time:(!now + d) (mk ())
+        end
+      done
+  in
+  let send_ack id =
+    let m = msg id in
+    through ~src:m.m_dst ~dst:m.m_src (fun () -> AckPkt id)
+  in
+  let transmit id =
+    let m = msg id in
+    m.m_attempts <- m.m_attempts + 1;
+    if m.m_attempts > 1 then incr retransmissions;
+    through ~src:m.m_src ~dst:m.m_dst (fun () -> Packet id);
+    Event_queue.schedule queue ~time:(!now + rto (m.m_attempts - 1) + jitter ()) (Retx (id, m.m_gen))
+  in
+  let net_start id =
+    (* (re)arm the stop-and-wait loop for [id]; bumping the generation
+       retires any timer still in the queue.  While the sender is down
+       only the pending ack is forgotten — its recovery re-arms the loop
+       ([m_acked] must be cleared even then, or an ack received before a
+       rollback would block the rebuild). *)
+    let m = msg id in
+    m.m_acked <- false;
+    if not crashed.(m.m_src) then begin
+      m.m_gen <- m.m_gen + 1;
+      m.m_attempts <- 0;
+      transmit id
+    end
+  in
   let sent = ref 0 in
   let send_message ~src ~dst =
     if !sent < cfg.max_messages && src <> dst && not crashed.(src) then begin
@@ -186,11 +284,15 @@ let run cfg =
             m_payload = payload;
             m_recv_interval = -1;
             m_status = Flight;
+            m_attempts = 0;
+            m_acked = false;
+            m_gen = 0;
           };
       n_msgs := id + 1;
       push_trace src (B_send id);
       interval_events.(src) <- interval_events.(src) + 1;
-      Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id);
+      if networked then net_start id
+      else Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id);
       if P.force_after_send then begin
         incr forced;
         take_checkpoint src Ptypes.Forced
@@ -301,6 +403,16 @@ let run cfg =
     done;
     (* classify rolled-back messages *)
     List.iter (fun id -> (msg id).m_status <- Dead) !all_sends;
+    (* up before the replays so that replayed messages sent by the repaired
+       process restart their retransmission loops immediately *)
+    crashed.(pid) <- false;
+    let restarted = Hashtbl.create 17 in
+    let restart id =
+      if not (Hashtbl.mem restarted id) then begin
+        Hashtbl.add restarted id ();
+        net_start id
+      end
+    in
     let replayed = ref 0 in
     List.iter
       (fun id ->
@@ -310,19 +422,30 @@ let run cfg =
           m.m_status <- Replay;
           m.m_recv_interval <- -1;
           incr replayed;
-          Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
+          if networked then restart id
+          else Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
         end)
       !all_recvs;
-    (* buffered arrivals for the repaired process re-enter the channel *)
+    (* buffered arrivals for the repaired process re-enter the channel
+       (reliable mode only; the networked path never buffers — packets to a
+       crashed process are lost and retransmission recovers them) *)
     List.iter
       (fun id ->
         match (msg id).m_status with
         | Flight | Replay ->
             Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
-        | Dead | Delivered -> ())
+        | Dead | Delivered | Undeliv -> ())
       (List.rev buffers.(pid));
     buffers.(pid) <- [];
-    crashed.(pid) <- false;
+    if networked then
+      (* the repaired process lost its retransmission timers with its
+         volatile state: re-arm the loop for each of its messages still
+         owed a delivery (including replays deferred while it was down) *)
+      for id = 0 to !n_msgs - 1 do
+        let m = msg id in
+        if m.m_src = pid && (not m.m_acked) && (m.m_status = Flight || m.m_status = Replay) then
+          restart id
+      done;
     Event_queue.schedule queue ~time:(!now + 1) (Tick (pid, epoch.(pid)));
     if basic_enabled then
       Event_queue.schedule queue ~time:(!now + draw_basic ()) (Basic (pid, epoch.(pid)));
@@ -381,11 +504,41 @@ let run cfg =
         | Arrival id -> (
             let m = msg id in
             match m.m_status with
-            | Dead -> () (* undone send: the message evaporates *)
+            | Dead | Undeliv -> () (* undone send: the message evaporates *)
             | Delivered -> () (* stale arrival from before a rollback *)
             | Flight | Replay ->
                 if crashed.(m.m_dst) then buffers.(m.m_dst) <- id :: buffers.(m.m_dst)
-                else deliver id))
+                else deliver id)
+        | Packet id -> (
+            let m = msg id in
+            match m.m_status with
+            | Dead | Undeliv -> () (* stray copy of an undone/abandoned send *)
+            | Delivered -> send_ack id (* redundant copy: just re-ack *)
+            | Flight | Replay ->
+                if crashed.(m.m_dst) then incr packets_dropped
+                else begin
+                  deliver id;
+                  send_ack id
+                end)
+        | AckPkt id ->
+            let m = msg id in
+            if crashed.(m.m_src) then incr packets_dropped
+            else (
+              match m.m_status with
+              | Dead | Undeliv -> ()
+              | Flight | Delivered | Replay -> m.m_acked <- true)
+        | Retx (id, gen) -> (
+            let m = msg id in
+            if gen = m.m_gen && (not m.m_acked) && not crashed.(m.m_src) then
+              match m.m_status with
+              | Dead | Undeliv -> ()
+              | Delivered when m.m_attempts > tparams.Transport.max_retx ->
+                  () (* the receiver has it; only the acks were lost *)
+              | Flight | Replay when m.m_attempts > tparams.Transport.max_retx ->
+                  (* typed graceful degradation: give up, keep the run finite *)
+                  m.m_status <- Undeliv;
+                  incr undeliverable
+              | Flight | Replay | Delivered -> transmit id))
   done;
   (* ---------------- final pattern ---------------- *)
   let builder = Pattern.Builder.create ~n:cfg.n in
@@ -402,7 +555,10 @@ let run cfg =
       | B_internal -> Pattern.Builder.internal builder pid
       | B_send id ->
           let m = msg id in
-          Hashtbl.replace handles id (Pattern.Builder.send builder ~src:pid ~dst:m.m_dst)
+          (* abandoned messages never reached the application on either
+             side: the surviving pattern excludes their sends *)
+          if m.m_status <> Undeliv then
+            Hashtbl.replace handles id (Pattern.Builder.send builder ~src:pid ~dst:m.m_dst)
       | B_recv id ->
           incr delivered;
           Pattern.Builder.recv builder (Hashtbl.find handles id)
@@ -425,5 +581,8 @@ let run cfg =
         total_events_undone = List.fold_left (fun a r -> a + r.events_undone) 0 recoveries;
         total_messages_replayed =
           List.fold_left (fun a r -> a + r.messages_replayed) 0 recoveries;
+        retransmissions = !retransmissions;
+        packets_dropped = !packets_dropped;
+        undeliverable = !undeliverable;
       };
   }

@@ -47,10 +47,28 @@ type config = {
   max_messages : int;
   max_time : int;
   crashes : crash list;
+  faults : Rdt_dist.Faults.spec;
+      (** network faults under the crashes; requires [transport <> None]
+          unless {!Rdt_dist.Faults.none} *)
+  transport : Rdt_dist.Transport.params option;
+      (** [None] (the default) keeps the reliable channels; [Some params]
+          sends every message through a per-message stop-and-wait reliable
+          transport over the faulty network (retransmission with the same
+          backoff/jitter/[max_retx] policy as {!Rdt_dist.Transport} — the
+          sliding-window link itself is not reused because rollback undoes
+          sends and replays deliveries, which a fixed sequence history
+          cannot express).  Crashes compose with the network: packets to a
+          crashed process are lost and recovered by retransmission, a
+          crashed sender's timers die with its volatile state and are
+          re-armed at recovery, and a message still unacknowledged after
+          [max_retx] retries is abandoned — it appears in neither the
+          surviving pattern nor the delivered count, and is tallied in
+          [metrics.undeliverable]. *)
 }
 
 val default_config : Rdt_dist.Env.t -> Rdt_core.Protocol.t -> config
-(** Same defaults as {!Rdt_core.Runtime.default_config}, no crashes. *)
+(** Same defaults as {!Rdt_core.Runtime.default_config}, no crashes, no
+    faults, no transport. *)
 
 type recovery = {
   crash : crash;
@@ -68,6 +86,10 @@ type metrics = {
   duration : int;
   total_events_undone : int;
   total_messages_replayed : int;
+  retransmissions : int;  (** data transmissions beyond each message's first *)
+  packets_dropped : int;
+      (** copies lost to drop sampling, partitions, or a crashed host *)
+  undeliverable : int;  (** messages abandoned after [max_retx] retries *)
 }
 
 type result = {

@@ -1,6 +1,8 @@
 module Runtime = Rdt_core.Runtime
 module Protocol = Rdt_core.Protocol
 module Channel = Rdt_dist.Channel
+module Faults = Rdt_dist.Faults
+module Transport = Rdt_dist.Transport
 
 type workload = {
   name : string;
@@ -9,10 +11,12 @@ type workload = {
   channel : Channel.spec;
   basic_period : int * int;
   max_messages : int;
+  faults : Faults.spec;
+  transport : Transport.params option;
 }
 
 let workload ?(n = 8) ?(max_messages = 2000) ?(channel = Channel.Uniform (5, 100))
-    ?(basic_period = (300, 700)) ?make_env name =
+    ?(basic_period = (300, 700)) ?(faults = Faults.none) ?transport ?make_env name =
   let make_env =
     match make_env with
     | Some f -> f
@@ -21,7 +25,14 @@ let workload ?(n = 8) ?(max_messages = 2000) ?(channel = Channel.Uniform (5, 100
         ignore (Rdt_workloads.Registry.find_exn name);
         fun () -> Rdt_workloads.Registry.find_exn name
   in
-  { name; make_env; n; channel; basic_period; max_messages }
+  let transport =
+    (* faults need a transport to recover reliable delivery; supply the
+       defaults when the caller asked for faults but gave no params *)
+    match transport with
+    | Some _ as t -> t
+    | None -> if Faults.is_none faults then None else Some Transport.default_params
+  in
+  { name; make_env; n; channel; basic_period; max_messages; faults; transport }
 
 let run_once w protocol ~seed =
   Runtime.run
@@ -34,6 +45,8 @@ let run_once w protocol ~seed =
       basic_period = w.basic_period;
       max_messages = w.max_messages;
       max_time = max_int / 2;
+      faults = w.faults;
+      transport = w.transport;
     }
 
 let verify_rdt (r : Runtime.result) = (Rdt_core.Checker.check r.Runtime.pattern).Rdt_core.Checker.rdt

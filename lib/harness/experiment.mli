@@ -13,6 +13,8 @@ type workload = {
   channel : Rdt_dist.Channel.spec;
   basic_period : int * int;
   max_messages : int;
+  faults : Rdt_dist.Faults.spec;
+  transport : Rdt_dist.Transport.params option;
 }
 
 val workload :
@@ -20,12 +22,16 @@ val workload :
   ?max_messages:int ->
   ?channel:Rdt_dist.Channel.spec ->
   ?basic_period:int * int ->
+  ?faults:Rdt_dist.Faults.spec ->
+  ?transport:Rdt_dist.Transport.params ->
   ?make_env:(unit -> Rdt_dist.Env.t) ->
   string ->
   workload
 (** [workload name] builds a workload from the environment registry entry
     [name] (or [make_env] when supplied) with defaults matching
-    {!Rdt_core.Runtime.default_config}. *)
+    {!Rdt_core.Runtime.default_config}.  Passing a non-[none] [faults]
+    spec without [transport] selects {!Rdt_dist.Transport.default_params}
+    so the run still delivers reliably. *)
 
 val run_once : workload -> Rdt_core.Protocol.t -> seed:int -> Rdt_core.Runtime.result
 (** One run.  @raise Invalid_argument on unknown environment names. *)

@@ -527,6 +527,59 @@ let table_goodput ?(seeds = Experiment.quick_seeds) () =
     [ "none"; "bcs"; "fdas"; "bhmr"; "cbr" ];
   t
 
+let fault_envs = [ "random"; "group"; "client-server" ]
+
+let table_faults ?(seeds = Experiment.quick_seeds) () =
+  let bhmr = Registry.find_exn "bhmr" in
+  let drops = [ 0.0; 0.02; 0.05; 0.1 ] in
+  let t =
+    Table.create
+      ~header:
+        ("drop"
+        :: List.concat_map (fun e -> [ e ^ " R(forced)"; e ^ " retx/msg"; e ^ " undeliv" ]) fault_envs
+        )
+  in
+  List.iter
+    (fun drop ->
+      let cells =
+        List.concat_map
+          (fun ename ->
+            (* paired against the reliable run of the same seed; the
+               drop=0 row isolates the effect of the FIFO transport alone *)
+            let faults = { Rdt_dist.Faults.none with drop } in
+            let w =
+              Experiment.workload ~n:6 ~max_messages:800 ~faults
+                ~transport:Rdt_dist.Transport.default_params ename
+            in
+            let w0 = Experiment.workload ~n:6 ~max_messages:800 ename in
+            let ratio = Stats.create () and retx = Stats.create () in
+            let undeliv = ref 0 in
+            List.iter
+              (fun seed ->
+                let r = Experiment.run_once w bhmr ~seed in
+                let r0 = Experiment.run_once w0 bhmr ~seed in
+                let f = r.Runtime.metrics.Rdt_core.Metrics.forced
+                and f0 = r0.Runtime.metrics.Rdt_core.Metrics.forced in
+                if f0 > 0 then Stats.add ratio (float_of_int f /. float_of_int f0);
+                match r.Runtime.transport with
+                | Some s ->
+                    Stats.add retx
+                      (float_of_int s.Rdt_dist.Transport.retransmissions
+                      /. float_of_int (max 1 s.Rdt_dist.Transport.accepted));
+                    undeliv := !undeliv + s.Rdt_dist.Transport.undeliverable
+                | None -> Stats.add retx 0.0)
+              seeds;
+            [
+              Table.cell_f (Stats.mean ratio);
+              Table.cell_f (Stats.mean retx);
+              string_of_int !undeliv;
+            ])
+          fault_envs
+      in
+      Table.add_row t (Printf.sprintf "%g" drop :: cells))
+    drops;
+  t
+
 let run_all ?(quick = false) () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   print_figure (fig_random ~seeds ());
@@ -556,4 +609,7 @@ let run_all ?(quick = false) () =
   print_figure (fig_lost_work ~seeds ());
   Format.printf "@.== TAB-GOODPUT: online crash recovery, 3 crashes (random, n=6) ==@.";
   Table.print (table_goodput ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.printf
+    "@.== TAB-FAULTS: forced-checkpoint inflation and retransmission cost vs drop rate (bhmr, n=6) ==@.";
+  Table.print (table_faults ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
   Format.print_flush ()

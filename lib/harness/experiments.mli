@@ -90,6 +90,15 @@ val table_goodput : ?seeds:int list -> unit -> Table.t
     sends were destroyed, and the surviving deliveries — live domino
     effect versus surgical RDT recovery. *)
 
+val table_faults : ?seeds:int list -> unit -> Table.t
+(** TAB-FAULTS (extension): robustness of the protocol stack to an
+    unreliable network.  For bhmr over the reliable-delivery transport
+    (n = 6), per packet-drop rate and environment: the paired
+    forced-checkpoint inflation [forced(faulty)/forced(reliable)], the
+    retransmissions per application message, and the messages abandoned
+    as undeliverable (0 at these rates).  The drop = 0 row isolates the
+    effect of the transport's FIFO links alone. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> unit -> unit

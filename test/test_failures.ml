@@ -9,10 +9,19 @@ module Consistency = Rdt_pattern.Consistency
 let check = Alcotest.(check bool)
 let qt = QCheck_alcotest.to_alcotest
 
-let config ?(n = 5) ?(seed = 7) ?(messages = 800) ?(envname = "random") ?(crashes = []) pname =
+let config ?(n = 5) ?(seed = 7) ?(messages = 800) ?(envname = "random") ?(crashes = [])
+    ?(faults = Rdt_dist.Faults.none) ?transport pname =
   let p = Rdt_core.Registry.find_exn pname in
   let env = Rdt_workloads.Registry.find_exn envname in
-  { (CS.default_config env p) with CS.n; seed; max_messages = messages; crashes }
+  {
+    (CS.default_config env p) with
+    CS.n;
+    seed;
+    max_messages = messages;
+    crashes;
+    faults;
+    transport;
+  }
 
 let one_crash = [ { CS.victim = 2; at = 2500; repair_delay = 200 } ]
 
@@ -117,6 +126,76 @@ let test_validation () =
     (fun () ->
       ignore (CS.run (config ~crashes:[ { CS.victim = 1; at = 100; repair_delay = 0 } ] "bhmr")))
 
+(* -------------------- crashes composed with network faults ------------- *)
+
+let lossy =
+  {
+    Rdt_dist.Faults.drop = 0.1;
+    dup = 0.05;
+    reorder = 0.05;
+    reorder_window = 40;
+    partitions = [ { Rdt_dist.Faults.between = [ 2 ]; from_t = 2000; to_t = 4500 } ];
+  }
+
+let faulty_config ?transport ?(crashes = three_crashes) ?(envname = "random") pname =
+  let transport = Option.value transport ~default:Rdt_dist.Transport.default_params in
+  config ~envname ~crashes ~faults:lossy ~transport pname
+
+let test_rdt_survives_crashes_under_faults () =
+  (* the strongest end-to-end property: crashes, rollbacks and replays on
+     top of a network that loses, duplicates, reorders and partitions —
+     and the surviving pattern still satisfies RDT *)
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun envname ->
+          let r = CS.run (faulty_config ~envname pname) in
+          Alcotest.(check int) (pname ^ " three recoveries") 3 (List.length r.recoveries);
+          if not (Checker.check r.pattern).Checker.rdt then
+            Alcotest.failf "%s on %s: RDT violated under crashes + faults" pname envname;
+          check (pname ^ " valid") true (Result.is_ok (P.validate r.pattern));
+          check (pname ^ " retransmitted") true (r.metrics.CS.retransmissions > 0);
+          Alcotest.(check int)
+            (pname ^ " pattern messages = delivered")
+            r.metrics.CS.messages_delivered (P.num_messages r.pattern))
+        [ "random"; "client-server" ])
+    [ "bhmr"; "fdas" ]
+
+let test_deterministic_under_faults () =
+  let a = CS.run (faulty_config "bhmr") in
+  let b = CS.run (faulty_config "bhmr") in
+  check "same pattern" true (a.pattern = b.pattern);
+  check "same metrics (incl. retransmission counts)" true (a.metrics = b.metrics);
+  check "same recoveries" true (a.recoveries = b.recoveries)
+
+let test_undeliverable_under_faults () =
+  (* a dead network with a tiny retry budget: every message is abandoned,
+     the run still terminates and the pattern is empty of messages *)
+  let r =
+    CS.run
+      (config ~messages:100
+         ~faults:{ Rdt_dist.Faults.none with drop = 1.0 }
+         ~transport:{ Rdt_dist.Transport.default_params with max_retx = 2 }
+         "bhmr")
+  in
+  check "messages were sent" true (r.metrics.CS.undeliverable > 0);
+  Alcotest.(check int) "nothing delivered" 0 r.metrics.CS.messages_delivered;
+  Alcotest.(check int) "pattern empty of messages" 0 (P.num_messages r.pattern);
+  check "still a valid pattern" true (Result.is_ok (P.validate r.pattern))
+
+let test_transport_without_faults_matches_reliability () =
+  (* a perfect network under the transport: nothing dropped, nothing
+     abandoned, every message delivered despite the crash plan *)
+  let r =
+    CS.run (config ~crashes:three_crashes ~transport:Rdt_dist.Transport.default_params "bhmr")
+  in
+  (* packets_dropped still counts copies lost at crashed hosts, but with a
+     perfect network nothing may be abandoned *)
+  Alcotest.(check int) "no undeliverable" 0 r.metrics.CS.undeliverable;
+  check "rdt" true (Checker.check r.pattern).Checker.rdt;
+  Alcotest.(check int) "pattern messages = delivered" r.metrics.CS.messages_delivered
+    (P.num_messages r.pattern)
+
 let crash_rdt_property =
   QCheck.Test.make ~name:"RDT survives random crash plans" ~count:25
     QCheck.(triple (int_bound 4) (int_bound 3) small_nat)
@@ -159,5 +238,14 @@ let () =
           Alcotest.test_case "validation" `Quick test_validation;
           qt crash_rdt_property;
           qt crash_consistency_property;
+        ] );
+      ( "crash+faults",
+        [
+          Alcotest.test_case "RDT survives crashes under faults" `Quick
+            test_rdt_survives_crashes_under_faults;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_under_faults;
+          Alcotest.test_case "graceful degradation" `Quick test_undeliverable_under_faults;
+          Alcotest.test_case "perfect network, crashes only" `Quick
+            test_transport_without_faults_matches_reliability;
         ] );
     ]
