@@ -8,7 +8,13 @@
      dune exec bench/main.exe                 # everything (10 seeds)
      dune exec bench/main.exe -- --quick      # 3 seeds
      dune exec bench/main.exe -- --micro      # micro-benchmarks only
-     dune exec bench/main.exe -- --no-micro   # experiments only *)
+     dune exec bench/main.exe -- --no-micro   # experiments only
+     dune exec bench/main.exe -- --jobs 4     # shard the grid over 4 domains
+     dune exec bench/main.exe -- --json out.json   # timing report path
+
+   A machine-readable timing report (grid wall-clock, cells/sec, per-cell
+   and per-protocol run cost, micro estimates) is always written; the
+   default path is BENCH_results.json in the working directory. *)
 
 open Bechamel
 open Toolkit
@@ -63,7 +69,7 @@ let analysis_tests =
            ignore (Rdt_recovery.Recovery_line.max_consistent_bounded pattern bounds)));
   ]
 
-let run_micro () =
+let run_micro ~report () =
   Format.printf "@.== MICRO: bechamel micro-benchmarks (ns per run) ==@.";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -87,6 +93,8 @@ let run_micro () =
         else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
         else Printf.sprintf "%.1f ns" estimate
       in
+      if not (Float.is_nan estimate) then
+        Rdt_harness.Bench_report.add_micro report ~name ~ns:estimate;
       Rdt_harness.Table.add_row table
         [ name; pretty; (if Float.is_nan r2 then "-" else Printf.sprintf "%.4f" r2) ])
     (List.sort compare rows);
@@ -96,12 +104,34 @@ let run_micro () =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* value of "--flag V" anywhere in argv, if present *)
+let rec arg_value flag = function
+  | [] | [ _ ] -> None
+  | f :: v :: rest -> if f = flag then Some v else arg_value flag (v :: rest)
+
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
   let quick = has "--quick" in
   let micro_only = has "--micro" in
   let no_micro = has "--no-micro" in
-  if not micro_only then Rdt_harness.Experiments.run_all ~quick ();
-  if not no_micro then run_micro ();
+  let jobs =
+    match arg_value "--jobs" args with
+    | None -> Rdt_harness.Pool.default_jobs ()
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> j
+        | Some _ | None -> invalid_arg "bench: --jobs expects a positive integer")
+  in
+  let json = Option.value (arg_value "--json" args) ~default:"BENCH_results.json" in
+  let report = Rdt_harness.Bench_report.create ~jobs in
+  let t0 = Unix.gettimeofday () in
+  if not micro_only then Rdt_harness.Experiments.run_all ~quick ~jobs ~report ();
+  if not no_micro then run_micro ~report ();
+  Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
+  Rdt_harness.Bench_report.write json report;
+  Format.printf "@.wrote %s (wall %.2fs, %d cells, jobs=%d)@." json
+    (Rdt_harness.Bench_report.wall report)
+    (List.length (Rdt_harness.Bench_report.cells report))
+    jobs;
   Format.print_flush ()

@@ -4,6 +4,7 @@
      run          simulate one (environment, protocol) pair and report
      verify       run + full offline RDT verification (3 checkers)
      experiments  reproduce the paper's figures and tables
+     table        print selected experiment tables (shardable via --jobs)
      recover      simulate crashes and compute the recovery line
      snapshot     coordinated Chandy-Lamport snapshots over a workload
      twophase     coordinated Koo-Toueg two-phase checkpointing
@@ -229,13 +230,135 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term)
 
+(* ---- grid sharding flags (experiments and table) ---- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Shard the experiment grid across $(docv) domains (default: $(b,RDT_JOBS) or 1). \
+              The printed tables are bit-identical for every value.")
+
+let resolve_jobs = function
+  | None -> Rdt_harness.Pool.default_jobs ()
+  | Some j when j >= 1 -> j
+  | Some _ -> invalid_arg "Cli: --jobs expects a positive integer"
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the machine-readable timing report (grid wall-clock, cells/sec, per-cell \
+              and per-protocol run cost) to $(docv).")
+
+let write_report report json =
+  match json with
+  | None -> ()
+  | Some file ->
+      Rdt_harness.Bench_report.write file report;
+      Format.printf "timing report written to %s@." file
+
 let experiments_cmd =
   let doc = "Reproduce the paper's figures and tables." in
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Use 3 seeds instead of 10 (fast smoke run).")
   in
-  let action quick = Rdt_harness.Experiments.run_all ~quick () in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ quick)
+  let action quick jobs json =
+    let jobs = resolve_jobs jobs in
+    let report = Rdt_harness.Bench_report.create ~jobs in
+    Rdt_harness.Experiments.run_all ~quick ~jobs ~report ();
+    write_report report json
+  in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ quick $ jobs_arg $ json_arg)
+
+let table_cmd =
+  let doc = "Print selected experiment tables of the paper's evaluation." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the named tables on seeds 1..K and prints them.  The underlying experiment \
+         grids shard their cells across $(b,--jobs) domains; every cell draws its randomness \
+         from a seed derived from the cell coordinates alone, so the output is bit-identical \
+         for every $(b,--jobs) value.";
+    ]
+  in
+  let table_names =
+    [
+      "protocols"; "overhead"; "claim"; "mingcp"; "ablation"; "recovery"; "coordinated";
+      "breakeven"; "goodput"; "faults";
+    ]
+  in
+  let names_arg =
+    Arg.(
+      value
+      & pos_all (enum (List.map (fun n -> (n, n)) table_names)) []
+      & info [] ~docv:"TABLE"
+          ~doc:
+            (Printf.sprintf "Tables to print (default: all).  One of %s."
+               (String.concat ", " table_names)))
+  in
+  let seeds_arg =
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"K" ~doc:"Run each grid on seeds 1..$(docv).")
+  in
+  let action names jobs seeds_k json =
+    let jobs = resolve_jobs jobs in
+    if seeds_k < 1 then invalid_arg "Cli: --seeds expects a positive integer";
+    let seeds = List.init seeds_k (fun i -> i + 1) in
+    let report = Rdt_harness.Bench_report.create ~jobs in
+    let names = if names = [] then table_names else names in
+    let module E = Rdt_harness.Experiments in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun name ->
+        let hdr title = Format.printf "@.== %s ==@." title in
+        match name with
+        | "protocols" ->
+            hdr "TAB-PROTOCOLS: forced checkpoints per 100 basic (n=8)";
+            Rdt_harness.Table.print (E.table_protocols ~jobs ~report ~seeds ())
+        | "overhead" ->
+            hdr "TAB-OVERHEAD: piggyback bits per message";
+            Rdt_harness.Table.print (E.table_overhead ())
+        | "claim" ->
+            hdr "CLAIM-10PCT: reduction of forced checkpoints vs FDAS";
+            List.iter
+              (fun (label, reduction) ->
+                Format.printf "  %-22s %5.1f%%  %s@." label (100.0 *. reduction)
+                  (if reduction >= 0.10 then "(>= 10%: yes)" else "(>= 10%: no)"))
+              (E.claim_ten_percent ~jobs ~report ~seeds ())
+        | "mingcp" ->
+            hdr "TAB-MINGCP: Corollary 4.5 (on-the-fly minimum global checkpoint)";
+            Rdt_harness.Table.print (E.table_min_gcp ~jobs ~report ~seeds ())
+        | "ablation" ->
+            hdr "ABLATION: predicate firings per variant (client-server, n=8)";
+            Rdt_harness.Table.print (E.table_ablation ~jobs ~report ~seeds ())
+        | "recovery" ->
+            hdr "TAB-RECOVERY: useless checkpoints, domino and replay (client-server, n=6)";
+            Rdt_harness.Table.print (E.table_recovery ~jobs ~report ~seeds ())
+        | "coordinated" ->
+            hdr "TAB-COORDINATED: coordinated snapshots vs CIC (random, n=8)";
+            Rdt_harness.Table.print (E.table_coordinated ~jobs ~report ~seeds ())
+        | "breakeven" ->
+            hdr "BREAK-EVEN: checkpoint size above which bhmr beats fdas in total overhead";
+            Rdt_harness.Table.print (E.table_breakeven ~jobs ~report ~seeds ())
+        | "goodput" ->
+            hdr "TAB-GOODPUT: online crash recovery, 3 crashes (random, n=6)";
+            Rdt_harness.Table.print (E.table_goodput ~jobs ~report ~seeds ())
+        | "faults" ->
+            hdr
+              "TAB-FAULTS: forced-checkpoint inflation and retransmission cost vs drop rate \
+               (bhmr, n=6)";
+            Rdt_harness.Table.print (E.table_faults ~jobs ~report ~seeds ())
+        | _ -> assert false)
+      names;
+    Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
+    write_report report json
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc ~man)
+    Term.(const action $ names_arg $ jobs_arg $ seeds_arg $ json_arg)
 
 let recover_cmd =
   let doc = "Simulate crashes at the end of a run and compute the recovery line." in
@@ -429,7 +552,10 @@ let main =
   let doc = "communication-induced checkpointing with rollback-dependency trackability" in
   Cmd.group
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
-    [ run_cmd; verify_cmd; experiments_cmd; recover_cmd; snapshot_cmd; twophase_cmd; crashrun_cmd; list_cmd ]
+    [
+      run_cmd; verify_cmd; experiments_cmd; table_cmd; recover_cmd; snapshot_cmd; twophase_cmd;
+      crashrun_cmd; list_cmd;
+    ]
 
 let () =
   (* config validation (fault specs, transport params, delay models) raises

@@ -18,6 +18,19 @@ let bits64 t =
 
 let split t = { state = mix64 (bits64 t) }
 
+let derive_seed seed label =
+  (* A keyed split: fold the label into a SplitMix64 walk started at the
+     seed, one Weyl step + finalizer per byte, so (seed, label) pairs give
+     statistically independent streams and the result does not depend on
+     any shared generator state. *)
+  let h = ref (mix64 (Int64.of_int seed)) in
+  String.iter
+    (fun c ->
+      h := Int64.add !h golden_gamma;
+      h := mix64 (Int64.logxor !h (Int64.of_int (Char.code c))))
+    label;
+  Int64.to_int (Int64.shift_right_logical (mix64 (Int64.add !h golden_gamma)) 2)
+
 (* A non-negative 62-bit int, safe on 64-bit OCaml. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 

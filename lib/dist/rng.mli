@@ -21,6 +21,15 @@ val split : t -> t
 (** [split t] derives a new generator statistically independent from the
     future output of [t].  [t] is advanced. *)
 
+val derive_seed : int -> string -> int
+(** [derive_seed seed label] is a non-negative seed derived from [(seed,
+    label)] by a keyed SplitMix64 walk — a {!split} whose key is a string
+    instead of shared generator state.  Used to give every cell of an
+    experiment grid its own stream from the cell's coordinates alone, so
+    results are independent of the order (or parallelism) in which cells
+    run.  Deterministic; distinct labels give statistically independent
+    streams. *)
+
 val bits64 : t -> int64
 (** [bits64 t] is the next raw 64-bit output. *)
 

@@ -1,0 +1,105 @@
+type cell = { table : string; protocol : string; env : string; seed : int; seconds : float }
+
+type t = {
+  jobs : int;
+  mutable cells : cell list; (* reversed *)
+  mutable wall : float;
+  mutable micro : (string * float) list; (* reversed; benchmark name, ns/run *)
+}
+
+let create ~jobs = { jobs; cells = []; wall = 0.0; micro = [] }
+
+let add t ~table ~protocol ~env ~seed ~seconds =
+  t.cells <- { table; protocol; env; seed; seconds } :: t.cells
+
+let add_micro t ~name ~ns = t.micro <- (name, ns) :: t.micro
+
+let set_wall t wall = t.wall <- wall
+
+let wall t = t.wall
+
+let cells t = List.rev t.cells
+
+let micro t = List.rev t.micro
+
+(* Deterministic (sorted) per-key totals; keyed cells keep grid order. *)
+let totals key t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let k = key c in
+      let secs, n = try Hashtbl.find tbl k with Not_found -> (0.0, 0) in
+      Hashtbl.replace tbl k (secs +. c.seconds, n + 1))
+    t.cells;
+  Hashtbl.fold (fun k (secs, n) acc -> (k, secs, n) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let per_protocol t = totals (fun c -> c.protocol) t
+
+let per_table t = totals (fun c -> c.table) t
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (no external dependency)                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_nan x || Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" (if Float.is_nan x then 0.0 else x)
+  else Printf.sprintf "%.6f" x
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let cells = cells t in
+  let ncells = List.length cells in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"rdt-bench/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" t.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"parallel_backend\": %b,\n" Pool.parallelism_available);
+  Buffer.add_string buf (Printf.sprintf "  \"grid_wall_seconds\": %s,\n" (json_float t.wall));
+  Buffer.add_string buf (Printf.sprintf "  \"cells\": %d,\n" ncells);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cells_per_second\": %s,\n"
+       (json_float (if t.wall > 0.0 then float_of_int ncells /. t.wall else 0.0)));
+  let obj_list name items render =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" name);
+    List.iteri
+      (fun i x ->
+        Buffer.add_string buf (if i = 0 then "\n    " else ",\n    ");
+        Buffer.add_string buf (render x))
+      items;
+    Buffer.add_string buf (if items = [] then "]" else "\n  ]")
+  in
+  obj_list "per_protocol" (per_protocol t) (fun (p, secs, n) ->
+      Printf.sprintf "{\"protocol\": \"%s\", \"seconds\": %s, \"cells\": %d}" (escape p)
+        (json_float secs) n);
+  Buffer.add_string buf ",\n";
+  obj_list "per_table" (per_table t) (fun (tb, secs, n) ->
+      Printf.sprintf "{\"table\": \"%s\", \"seconds\": %s, \"cells\": %d}" (escape tb)
+        (json_float secs) n);
+  Buffer.add_string buf ",\n";
+  obj_list "micro" (micro t) (fun (name, ns) ->
+      Printf.sprintf "{\"benchmark\": \"%s\", \"ns_per_run\": %s}" (escape name) (json_float ns));
+  Buffer.add_string buf ",\n";
+  obj_list "cell_timings" cells (fun c ->
+      Printf.sprintf
+        "{\"table\": \"%s\", \"protocol\": \"%s\", \"env\": \"%s\", \"seed\": %d, \"seconds\": %s}"
+        (escape c.table) (escape c.protocol) (escape c.env) c.seed (json_float c.seconds));
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+let write path t = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_json t))

@@ -1,0 +1,47 @@
+(** Machine-readable performance record of an experiment/bench grid.
+
+    Every run of the grid (see {!Experiments} and [bench/main.ml]) can
+    collect one of these: per-cell wall-clock timings keyed by the cell's
+    coordinates (table, protocol, environment, seed), the grid wall-clock,
+    and optionally the micro-benchmark estimates.  [BENCH_results.json]
+    (written by {!write}) is the perf trajectory future changes are
+    measured against — see EXPERIMENTS.md.
+
+    The timings are measurements, not simulation output: they vary from
+    run to run while the tables stay bit-identical. *)
+
+type cell = { table : string; protocol : string; env : string; seed : int; seconds : float }
+
+type t
+
+val create : jobs:int -> t
+
+val add : t -> table:string -> protocol:string -> env:string -> seed:int -> seconds:float -> unit
+(** Record one cell.  Cells are kept in insertion order, which for a grid
+    run is the deterministic cell order — parallel and sequential runs of
+    the same grid record the same cell sequence (timings aside). *)
+
+val add_micro : t -> name:string -> ns:float -> unit
+(** Record one micro-benchmark estimate (ns per run). *)
+
+val set_wall : t -> float -> unit
+(** Total wall-clock of the grid, timed by the caller around the whole
+    run (not the sum of cell times: cells overlap under parallelism). *)
+
+val wall : t -> float
+
+val cells : t -> cell list
+(** In insertion (grid) order. *)
+
+val micro : t -> (string * float) list
+
+val per_protocol : t -> (string * float * int) list
+(** Total seconds and cell count per protocol, sorted by name: the run
+    cost each protocol contributes to the grid. *)
+
+val per_table : t -> (string * float * int) list
+
+val to_json : t -> string
+
+val write : string -> t -> unit
+(** [write path t] writes {!to_json} to [path]. *)

@@ -96,3 +96,5 @@ let ratio_vs_baseline w protocol ~baseline ~seeds =
 let default_seeds = List.init 10 (fun i -> i + 1)
 
 let quick_seeds = [ 1; 2; 3 ]
+
+let cell_seed path seed = Rdt_dist.Rng.derive_seed seed (String.concat "/" path)

@@ -59,3 +59,14 @@ val default_seeds : int list
 
 val quick_seeds : int list
 (** [1..3], for smoke-level reproduction runs. *)
+
+val cell_seed : string list -> int -> int
+(** [cell_seed path seed] is the RNG seed of one cell of an experiment
+    grid, derived from the cell's coordinates (e.g. [\["TAB-PROTOCOLS";
+    env\]]) and the base seed by {!Rdt_dist.Rng.derive_seed}.  The
+    derivation never consults shared generator state, so a cell's stream
+    is the same whether the grid runs sequentially or sharded across a
+    {!Pool} — the keystone of the bit-identical [--jobs N] guarantee.
+    Cells that must stay {e paired} (a protocol against its baseline, a
+    faulty run against the reliable run of the same workload) share one
+    [path], so they keep drawing identical streams. *)

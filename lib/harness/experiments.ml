@@ -33,19 +33,86 @@ let print_figure f =
         first.points);
   Table.print t
 
-let ratio_series ?(seeds = Experiment.default_seeds) ~label ~xs ~workload_of () =
+(* ------------------------------------------------------------------ *)
+(* The grid layer                                                      *)
+(*                                                                     *)
+(* Every figure/table below is decomposed into a flat list of          *)
+(* independent cells — one (outer coordinate, seed) pair each — run    *)
+(* through the Pool and folded back in deterministic cell order.  A    *)
+(* cell derives its RNG seed from its own coordinates alone            *)
+(* (Experiment.cell_seed), so the produced tables are bit-identical    *)
+(* for every --jobs value.  Cells that must stay paired (a protocol    *)
+(* against its baseline, faulty against reliable) share one seed path  *)
+(* and perform both runs inside the cell.                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat (outer x seed) cell list; cells of one outer coordinate stay
+   contiguous so results regroup by simple chunking. *)
+let grid_cells outer ~seeds =
+  List.concat_map (fun o -> List.map (fun seed -> (o, seed)) seeds) outer
+
+(* Split [xs] (the flat result list) back into one chunk per outer
+   coordinate. *)
+let regroup ~seeds xs =
+  let k = List.length seeds in
+  let rec go acc cur n = function
+    | [] -> List.rev acc
+    | x :: rest ->
+        if n = 1 then go (List.rev (x :: cur) :: acc) [] k rest else go acc (x :: cur) (n - 1) rest
+  in
+  if k = 0 then [] else go [] [] k xs
+
+(* Run one grid through the pool.  [coords] names each cell for the
+   timing report; [f] must be self-contained (it runs on a worker
+   domain). *)
+let run_cells ?jobs ?report ~table ~coords ~f cells =
+  let timed = Pool.map_timed ?jobs f cells in
+  (match report with
+  | None -> ()
+  | Some r ->
+      List.iter2
+        (fun cell (_, seconds) ->
+          let protocol, env, seed = coords cell in
+          Bench_report.add r ~table ~protocol ~env ~seed ~seconds)
+        cells timed);
+  List.map fst timed
+
+let mean_stats_of xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let mean_stats_opt xs = mean_stats_of (List.filter_map Fun.id xs)
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The paired ratio forced(protocol)/forced(fdas): both runs inside one
+   cell, on the seed derived from (figure, x) — identical for every
+   series of the figure, so series stay comparable run to run. *)
+let ratio_series ?jobs ?report ?(seeds = Experiment.default_seeds) ~fig ~label ~xs ~workload_of
+    () =
   let protocol = Registry.find_exn label in
+  let cells = grid_cells xs ~seeds in
+  let ratios =
+    run_cells ?jobs ?report ~table:fig cells
+      ~coords:(fun (x, seed) -> (label, Printf.sprintf "x=%g" x, seed))
+      ~f:(fun (x, seed) ->
+        let w = workload_of x in
+        let seed = Experiment.cell_seed [ fig; Printf.sprintf "x=%g" x ] seed in
+        let rp = Experiment.run_once w protocol ~seed in
+        let rb = Experiment.run_once w fdas ~seed in
+        let fp = rp.Runtime.metrics.Rdt_core.Metrics.forced
+        and fb = rb.Runtime.metrics.Rdt_core.Metrics.forced in
+        if fb > 0 then Some (float_of_int fp /. float_of_int fb) else None)
+  in
   {
     label;
-    points =
-      List.map
-        (fun x ->
-          let w = workload_of x in
-          { x; stats = Experiment.ratio_vs_baseline w protocol ~baseline:fdas ~seeds })
-        xs;
+    points = List.map2 (fun x rs -> { x; stats = mean_stats_opt rs }) xs (regroup ~seeds ratios);
   }
 
-let fig_random ?(seeds = Experiment.default_seeds) () =
+let fig_random ?jobs ?report ?(seeds = Experiment.default_seeds) () =
   let xs = [ 2.0; 4.0; 8.0; 16.0; 32.0 ] in
   let workload_of x = Experiment.workload ~n:(int_of_float x) ~max_messages:1500 "random" in
   {
@@ -53,10 +120,12 @@ let fig_random ?(seeds = Experiment.default_seeds) () =
     title = "R = forced/forced(FDAS) in the general random environment";
     xlabel = "n";
     series =
-      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+      List.map
+        (fun label -> ratio_series ?jobs ?report ~seeds ~fig:"FIG-RANDOM" ~label ~xs ~workload_of ())
+        variants;
   }
 
-let fig_group ?(seeds = Experiment.default_seeds) () =
+let fig_group ?jobs ?report ?(seeds = Experiment.default_seeds) () =
   let xs = [ 2.0; 3.0; 4.0; 6.0 ] in
   let workload_of x =
     let params =
@@ -71,10 +140,12 @@ let fig_group ?(seeds = Experiment.default_seeds) () =
     title = "R in overlapping group communication environments (n=12)";
     xlabel = "group size";
     series =
-      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+      List.map
+        (fun label -> ratio_series ?jobs ?report ~seeds ~fig:"FIG-8" ~label ~xs ~workload_of ())
+        variants;
   }
 
-let fig_client_server ?(seeds = Experiment.default_seeds) () =
+let fig_client_server ?jobs ?report ?(seeds = Experiment.default_seeds) () =
   let xs = [ 2.0; 4.0; 8.0; 16.0 ] in
   let workload_of x =
     Experiment.workload ~n:(int_of_float x) ~max_messages:1500 "client-server"
@@ -84,7 +155,9 @@ let fig_client_server ?(seeds = Experiment.default_seeds) () =
     title = "R in client/server environments";
     xlabel = "n servers";
     series =
-      List.map (fun label -> ratio_series ~seeds ~label ~xs ~workload_of ()) variants;
+      List.map
+        (fun label -> ratio_series ?jobs ?report ~seeds ~fig:"FIG-9" ~label ~xs ~workload_of ())
+        variants;
   }
 
 let lost_work_fraction pat =
@@ -116,53 +189,77 @@ let lost_work_fraction pat =
   in
   float_of_int lost /. float_of_int (max 1 total)
 
-let fig_lost_work ?(seeds = Experiment.default_seeds) () =
+let fig_lost_work ?jobs ?report ?(seeds = Experiment.default_seeds) () =
+  let fig = "FIG-LOST-WORK" in
   let periods = [ (100, 200); (300, 700); (800, 1600); (2000, 4000) ] in
   let series_of pname =
     let protocol = Registry.find_exn pname in
+    let cells = grid_cells periods ~seeds in
+    let fractions =
+      run_cells ?jobs ?report ~table:fig cells
+        ~coords:(fun ((lo, hi), seed) -> (pname, Printf.sprintf "period=%d-%d" lo hi, seed))
+        ~f:(fun ((lo, hi), seed) ->
+          let w =
+            Experiment.workload ~n:6 ~max_messages:1200 ~basic_period:(lo, hi) "random"
+          in
+          let seed = Experiment.cell_seed [ fig; Printf.sprintf "%d-%d" lo hi ] seed in
+          let r = Experiment.run_once w protocol ~seed in
+          lost_work_fraction r.Runtime.pattern)
+    in
     {
       label = pname;
       points =
-        List.map
-          (fun (lo, hi) ->
-            let w =
-              Experiment.workload ~n:6 ~max_messages:1200 ~basic_period:(lo, hi) "random"
-            in
-            let stats = Stats.create () in
-            List.iter
-              (fun seed ->
-                let r = Experiment.run_once w protocol ~seed in
-                Stats.add stats (lost_work_fraction r.Runtime.pattern))
-              seeds;
-            { x = float_of_int (lo + hi) /. 2.0; stats })
-          periods;
+        List.map2
+          (fun (lo, hi) fs -> { x = float_of_int (lo + hi) /. 2.0; stats = mean_stats_of fs })
+          periods (regroup ~seeds fractions);
     }
   in
   {
-    id = "FIG-LOST-WORK";
+    id = fig;
     title = "fraction of events undone by a crash at 60% of the run (random, n=6)";
     xlabel = "mean basic period";
     series = List.map series_of [ "none"; "bcs"; "bhmr" ];
   }
 
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
 let hierarchy = [ "cbr"; "nras"; "cas"; "fdi"; "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ]
 
 let environments = [ "random"; "group"; "client-server"; "prodcons"; "master-worker"; "stencil" ]
 
-let table_protocols ?(seeds = Experiment.default_seeds) () =
+let table_protocols ?jobs ?report ?(seeds = Experiment.default_seeds) () =
+  let table = "TAB-PROTOCOLS" in
+  let coords = List.concat_map (fun p -> List.map (fun e -> (p, e)) environments) hierarchy in
+  let cells = grid_cells coords ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun ((pname, ename), seed) -> (pname, ename, seed))
+      ~f:(fun ((pname, ename), seed) ->
+        let protocol = Registry.find_exn pname in
+        let w = Experiment.workload ~n:8 ~max_messages:1500 ename in
+        let seed = Experiment.cell_seed [ table; ename ] seed in
+        let r = Experiment.run_once w protocol ~seed in
+        Rdt_core.Metrics.forced_per_basic r.Runtime.metrics)
+  in
   let t = Table.create ~header:("protocol" :: environments) in
+  let grouped = regroup ~seeds results in
   List.iter
     (fun pname ->
-      let protocol = Registry.find_exn pname in
-      let cells =
+      let cells_of_p =
+        List.filter_map
+          (fun ((p, e), vals) -> if p = pname then Some (e, vals) else None)
+          (List.combine coords grouped)
+      in
+      let row =
         List.map
           (fun ename ->
-            let w = Experiment.workload ~n:8 ~max_messages:1500 ename in
-            let agg = Experiment.aggregate w protocol ~seeds in
-            Table.cell_f (100.0 *. Stats.mean agg.Experiment.forced_per_basic))
+            let vals = List.assoc ename cells_of_p in
+            Table.cell_f (100.0 *. Stats.mean (mean_stats_of vals)))
           environments
       in
-      Table.add_row t (pname :: cells))
+      Table.add_row t (pname :: row))
     hierarchy;
   t
 
@@ -195,43 +292,69 @@ let claim_environments =
     ("master-worker (n=8)", fun () -> Experiment.workload ~n:8 ~max_messages:1500 "master-worker");
   ]
 
-let claim_ten_percent ?(seeds = Experiment.default_seeds) () =
+let claim_ten_percent ?jobs ?report ?(seeds = Experiment.default_seeds) () =
+  let table = "CLAIM-10PCT" in
   let bhmr = Registry.find_exn "bhmr" in
-  List.map
-    (fun (label, mk) ->
-      let stats = Experiment.ratio_vs_baseline (mk ()) bhmr ~baseline:fdas ~seeds in
-      (label, 1.0 -. Stats.mean stats))
-    claim_environments
+  let cells = grid_cells claim_environments ~seeds in
+  let ratios =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun ((label, _), seed) -> ("bhmr", label, seed))
+      ~f:(fun ((label, mk), seed) ->
+        let w = mk () in
+        let seed = Experiment.cell_seed [ table; label ] seed in
+        let rp = Experiment.run_once w bhmr ~seed in
+        let rb = Experiment.run_once w fdas ~seed in
+        let fp = rp.Runtime.metrics.Rdt_core.Metrics.forced
+        and fb = rb.Runtime.metrics.Rdt_core.Metrics.forced in
+        if fb > 0 then Some (float_of_int fp /. float_of_int fb) else None)
+  in
+  List.map2
+    (fun (label, _) rs -> (label, 1.0 -. Stats.mean (mean_stats_opt rs)))
+    claim_environments (regroup ~seeds ratios)
 
-let table_min_gcp ?(seeds = Experiment.quick_seeds) () =
+let table_min_gcp ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
+  let table = "TAB-MINGCP" in
   let bhmr = Registry.find_exn "bhmr" in
+  let cells = grid_cells environments ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (ename, seed) -> ("bhmr", ename, seed))
+      ~f:(fun (ename, seed) ->
+        let w = Experiment.workload ~n:6 ~max_messages:600 ename in
+        let seed = Experiment.cell_seed [ table; ename ] seed in
+        let r = Experiment.run_once w bhmr ~seed in
+        let pat = r.Runtime.pattern in
+        let tdv = Rdt_pattern.Tdv.compute pat in
+        let checked = ref 0 and agree = ref 0 in
+        let span = Stats.create () in
+        Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
+            let id = (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) in
+            let online = Rdt_pattern.Tdv.at tdv id in
+            incr checked;
+            (match Rdt_pattern.Consistency.min_consistent_containing pat [ id ] with
+            | Some v when v = Array.copy online -> incr agree
+            | Some _ | None -> ());
+            let _, x = id in
+            Array.iteri
+              (fun j y ->
+                if j <> fst id then
+                  Stats.add span (float_of_int (min x (Rdt_pattern.Pattern.last_index pat j) - y)))
+              online);
+        (!checked, !agree, span))
+  in
   let t =
     Table.create ~header:[ "environment"; "ckpts checked"; "TDV = min GCP"; "mean span" ]
   in
-  List.iter
-    (fun ename ->
-      let w = Experiment.workload ~n:6 ~max_messages:600 ename in
+  List.iter2
+    (fun ename per_seed ->
       let checked = ref 0 and agree = ref 0 in
       let span = Stats.create () in
       List.iter
-        (fun seed ->
-          let r = Experiment.run_once w bhmr ~seed in
-          let pat = r.Runtime.pattern in
-          let tdv = Rdt_pattern.Tdv.compute pat in
-          Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
-              let id = (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index) in
-              let online = Rdt_pattern.Tdv.at tdv id in
-              incr checked;
-              (match Rdt_pattern.Consistency.min_consistent_containing pat [ id ] with
-              | Some v when v = Array.copy online -> incr agree
-              | Some _ | None -> ());
-              let _, x = id in
-              Array.iteri
-                (fun j y ->
-                  if j <> fst id then
-                    Stats.add span (float_of_int (min x (Rdt_pattern.Pattern.last_index pat j) - y)))
-                online))
-        seeds;
+        (fun (c, a, s) ->
+          checked := !checked + c;
+          agree := !agree + a;
+          Stats.merge ~into:span s)
+        per_seed;
       Table.add_row t
         [
           ename;
@@ -239,32 +362,46 @@ let table_min_gcp ?(seeds = Experiment.quick_seeds) () =
           Table.cell_pct (float_of_int !agree /. float_of_int (max 1 !checked));
           Table.cell_f (Stats.mean span);
         ])
-    environments;
+    environments (regroup ~seeds results);
   t
 
-let table_ablation ?(seeds = Experiment.default_seeds) () =
+let table_ablation ?jobs ?report ?(seeds = Experiment.default_seeds) () =
+  let table = "ABLATION" in
+  let protocols = [ "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ] in
+  let cells = grid_cells protocols ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (pname, seed) -> (pname, "client-server", seed))
+      ~f:(fun (pname, seed) ->
+        let protocol = Registry.find_exn pname in
+        let w = Experiment.workload ~n:8 ~max_messages:1500 "client-server" in
+        let seed = Experiment.cell_seed [ table; "client-server" ] seed in
+        let r = Experiment.run_once w protocol ~seed in
+        let rb = Experiment.run_once w fdas ~seed in
+        let fp = r.Runtime.metrics.Rdt_core.Metrics.forced
+        and fb = rb.Runtime.metrics.Rdt_core.Metrics.forced in
+        let ratio = if fb > 0 then Some (float_of_int fp /. float_of_int fb) else None in
+        (fp, ratio, r.Runtime.predicate_counts))
+  in
   let t =
     Table.create
       ~header:
         [ "protocol"; "forced"; "R vs fdas"; "c1 fires"; "c2 fires"; "c2' fires"; "c_fdas fires" ]
   in
-  let w = Experiment.workload ~n:8 ~max_messages:1500 "client-server" in
-  List.iter
-    (fun pname ->
-      let protocol = Registry.find_exn pname in
-      let forced = Stats.create ()
-      and ratio = Experiment.ratio_vs_baseline w protocol ~baseline:fdas ~seeds in
+  List.iter2
+    (fun pname per_seed ->
+      let forced = Stats.create () and ratio = Stats.create () in
       let fires = Hashtbl.create 7 in
       List.iter
-        (fun seed ->
-          let r = Experiment.run_once w protocol ~seed in
-          Stats.add forced (float_of_int r.Runtime.metrics.Rdt_core.Metrics.forced);
+        (fun (fp, r, counts) ->
+          Stats.add forced (float_of_int fp);
+          Option.iter (Stats.add ratio) r;
           List.iter
             (fun (name, count) ->
               let cur = try Hashtbl.find fires name with Not_found -> 0 in
               Hashtbl.replace fires name (cur + count))
-            r.Runtime.predicate_counts)
-        seeds;
+            counts)
+        per_seed;
       let avg name =
         match Hashtbl.find_opt fires name with
         | None -> "-"
@@ -280,59 +417,76 @@ let table_ablation ?(seeds = Experiment.default_seeds) () =
           avg "c2'";
           avg "c_fdas";
         ])
-    [ "fdas"; "bhmr-v2"; "bhmr-v1"; "bhmr" ];
+    protocols (regroup ~seeds results);
   t
 
-let table_recovery ?(seeds = Experiment.quick_seeds) () =
+let table_recovery ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
+  let table = "TAB-RECOVERY" in
+  let protocols = [ "none"; "bcs"; "fdas"; "bhmr" ] in
+  let cells = grid_cells protocols ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (pname, seed) -> (pname, "client-server", seed))
+      ~f:(fun (pname, seed) ->
+        let protocol = Registry.find_exn pname in
+        let w = Experiment.workload ~n:6 ~max_messages:800 "client-server" in
+        let seed = Experiment.cell_seed [ table; "client-server" ] seed in
+        let r = Experiment.run_once w protocol ~seed in
+        let pat = r.Runtime.pattern in
+        let total = ref 0 and bad = ref 0 in
+        Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
+            if c.Rdt_pattern.Types.kind <> Rdt_pattern.Types.Final then begin
+              incr total;
+              if
+                Rdt_pattern.Consistency.useless pat
+                  (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
+              then incr bad
+            end);
+        let useless = float_of_int !bad /. float_of_int (max 1 !total) in
+        (* crash process 0 halfway through its checkpoints *)
+        let crash =
+          [
+            {
+              Rdt_recovery.Recovery_line.pid = 0;
+              available = Rdt_pattern.Pattern.last_index pat 0 / 2;
+            };
+          ]
+        in
+        let outcome = Rdt_recovery.Recovery_line.recover pat crash in
+        let n = Rdt_pattern.Pattern.n pat in
+        let survivor_loss = ref [] in
+        for i = n - 1 downto 1 do
+          let last = Rdt_pattern.Pattern.last_index pat i in
+          if last > 0 then
+            survivor_loss :=
+              (float_of_int outcome.Rdt_recovery.Recovery_line.rolled_back_ckpts.(i)
+              /. float_of_int last)
+              :: !survivor_loss
+        done;
+        let cost = Rdt_recovery.Message_log.replay_cost pat ~crash in
+        ( useless,
+          !survivor_loss,
+          float_of_int cost.Rdt_recovery.Message_log.replayed_messages,
+          float_of_int cost.Rdt_recovery.Message_log.reexecuted_events ))
+  in
   let t =
     Table.create
       ~header:
         [ "protocol"; "useless ckpts"; "survivor loss"; "replayed msgs"; "redone events" ]
   in
-  let w = Experiment.workload ~n:6 ~max_messages:800 "client-server" in
-  List.iter
-    (fun pname ->
-      let protocol = Registry.find_exn pname in
+  List.iter2
+    (fun pname per_seed ->
       let useless = Stats.create ()
       and survivor_loss = Stats.create ()
       and replayed = Stats.create ()
       and redone = Stats.create () in
       List.iter
-        (fun seed ->
-          let r = Experiment.run_once w protocol ~seed in
-          let pat = r.Runtime.pattern in
-          let total = ref 0 and bad = ref 0 in
-          Rdt_pattern.Pattern.iter_ckpts pat (fun c ->
-              if c.Rdt_pattern.Types.kind <> Rdt_pattern.Types.Final then begin
-                incr total;
-                if
-                  Rdt_pattern.Consistency.useless pat
-                    (c.Rdt_pattern.Types.owner, c.Rdt_pattern.Types.index)
-                then incr bad
-              end);
-          Stats.add useless (float_of_int !bad /. float_of_int (max 1 !total));
-          (* crash process 0 halfway through its checkpoints *)
-          let crash =
-            [
-              {
-                Rdt_recovery.Recovery_line.pid = 0;
-                available = Rdt_pattern.Pattern.last_index pat 0 / 2;
-              };
-            ]
-          in
-          let outcome = Rdt_recovery.Recovery_line.recover pat crash in
-          let n = Rdt_pattern.Pattern.n pat in
-          for i = 1 to n - 1 do
-            let last = Rdt_pattern.Pattern.last_index pat i in
-            if last > 0 then
-              Stats.add survivor_loss
-                (float_of_int outcome.Rdt_recovery.Recovery_line.rolled_back_ckpts.(i)
-                /. float_of_int last)
-          done;
-          let cost = Rdt_recovery.Message_log.replay_cost pat ~crash in
-          Stats.add replayed (float_of_int cost.Rdt_recovery.Message_log.replayed_messages);
-          Stats.add redone (float_of_int cost.Rdt_recovery.Message_log.reexecuted_events))
-        seeds;
+        (fun (u, losses, rep, red) ->
+          Stats.add useless u;
+          List.iter (Stats.add survivor_loss) losses;
+          Stats.add replayed rep;
+          Stats.add redone red)
+        per_seed;
       Table.add_row t
         [
           pname;
@@ -341,14 +495,16 @@ let table_recovery ?(seeds = Experiment.quick_seeds) () =
           Table.cell_f (Stats.mean replayed);
           Table.cell_f (Stats.mean redone);
         ])
-    [ "none"; "bcs"; "fdas"; "bhmr" ];
+    protocols (regroup ~seeds results);
   t
 
 (* A marker message carries a snapshot id: charge 64 bits of control data
    per marker when comparing against piggybacked overheads. *)
 let marker_bits = 64
 
-let table_coordinated ?(seeds = Experiment.quick_seeds) () =
+let table_coordinated ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
+  let table = "TAB-COORDINATED" in
+  let n = 8 and max_messages = 1500 in
   let t =
     Table.create
       ~header:
@@ -360,86 +516,109 @@ let table_coordinated ?(seeds = Experiment.quick_seeds) () =
           "snapshot latency";
         ]
   in
-  let n = 8 and max_messages = 1500 in
   (* coordinated: Chandy-Lamport at the default initiation period *)
-  let ckpts = Stats.create ()
-  and control = Stats.create ()
-  and bits = Stats.create ()
-  and latency = Stats.create () in
-  List.iter
-    (fun seed ->
-      let env = Rdt_workloads.Registry.find_exn "random" in
-      let r =
-        Rdt_coordinated.Snapshot.run
-          { (Rdt_coordinated.Snapshot.default_config env) with n; seed; max_messages }
-      in
-      let m = r.Rdt_coordinated.Snapshot.metrics in
-      Stats.add ckpts
-        (float_of_int (m.Rdt_coordinated.Snapshot.snapshots_completed * n));
-      Stats.add control (float_of_int m.Rdt_coordinated.Snapshot.marker_messages);
-      Stats.add bits
-        (float_of_int (m.Rdt_coordinated.Snapshot.marker_messages * marker_bits)
-        /. float_of_int m.Rdt_coordinated.Snapshot.app_messages);
-      Stats.add latency m.Rdt_coordinated.Snapshot.mean_latency)
-    seeds;
-  Table.add_row t
-    [
-      "chandy-lamport";
-      Table.cell_f (Stats.mean ckpts);
-      Table.cell_f (Stats.mean control);
-      Table.cell_f (Stats.mean bits);
-      Table.cell_f (Stats.mean latency);
-    ];
+  let cl =
+    run_cells ?jobs ?report ~table seeds
+      ~coords:(fun seed -> ("chandy-lamport", "random", seed))
+      ~f:(fun seed ->
+        let env = Rdt_workloads.Registry.find_exn "random" in
+        let seed = Experiment.cell_seed [ table; "chandy-lamport" ] seed in
+        let r =
+          Rdt_coordinated.Snapshot.run
+            { (Rdt_coordinated.Snapshot.default_config env) with n; seed; max_messages }
+        in
+        let m = r.Rdt_coordinated.Snapshot.metrics in
+        ( float_of_int (m.Rdt_coordinated.Snapshot.snapshots_completed * n),
+          float_of_int m.Rdt_coordinated.Snapshot.marker_messages,
+          float_of_int (m.Rdt_coordinated.Snapshot.marker_messages * marker_bits)
+          /. float_of_int m.Rdt_coordinated.Snapshot.app_messages,
+          m.Rdt_coordinated.Snapshot.mean_latency ))
+  in
+  let add_means name rows =
+    let a = Stats.create () and b = Stats.create () and c = Stats.create ()
+    and d = Stats.create () in
+    List.iter
+      (fun (x, y, z, w) ->
+        Stats.add a x;
+        Stats.add b y;
+        Stats.add c z;
+        Stats.add d w)
+      rows;
+    Table.add_row t
+      [
+        name;
+        Table.cell_f (Stats.mean a);
+        Table.cell_f (Stats.mean b);
+        Table.cell_f (Stats.mean c);
+        Table.cell_f (Stats.mean d);
+      ]
+  in
+  add_means "chandy-lamport" cl;
   (* Koo-Toueg: blocking two-phase, dependency-directed *)
-  let kt_ckpts = Stats.create ()
-  and kt_control = Stats.create ()
-  and kt_bits = Stats.create ()
-  and kt_latency = Stats.create () in
-  List.iter
-    (fun seed ->
-      let env = Rdt_workloads.Registry.find_exn "random" in
-      let r =
-        Rdt_coordinated.Koo_toueg.run
-          { (Rdt_coordinated.Koo_toueg.default_config env) with n; seed; max_messages }
-      in
-      let m = r.Rdt_coordinated.Koo_toueg.metrics in
-      Stats.add kt_ckpts (float_of_int m.Rdt_coordinated.Koo_toueg.checkpoints_taken);
-      Stats.add kt_control (float_of_int m.Rdt_coordinated.Koo_toueg.control_messages);
-      Stats.add kt_bits
-        (float_of_int (m.Rdt_coordinated.Koo_toueg.control_messages * marker_bits)
-        /. float_of_int m.Rdt_coordinated.Koo_toueg.app_messages);
-      Stats.add kt_latency m.Rdt_coordinated.Koo_toueg.mean_latency)
-    seeds;
-  Table.add_row t
-    [
-      "koo-toueg";
-      Table.cell_f (Stats.mean kt_ckpts);
-      Table.cell_f (Stats.mean kt_control);
-      Table.cell_f (Stats.mean kt_bits);
-      Table.cell_f (Stats.mean kt_latency);
-    ];
+  let kt =
+    run_cells ?jobs ?report ~table seeds
+      ~coords:(fun seed -> ("koo-toueg", "random", seed))
+      ~f:(fun seed ->
+        let env = Rdt_workloads.Registry.find_exn "random" in
+        let seed = Experiment.cell_seed [ table; "koo-toueg" ] seed in
+        let r =
+          Rdt_coordinated.Koo_toueg.run
+            { (Rdt_coordinated.Koo_toueg.default_config env) with n; seed; max_messages }
+        in
+        let m = r.Rdt_coordinated.Koo_toueg.metrics in
+        ( float_of_int m.Rdt_coordinated.Koo_toueg.checkpoints_taken,
+          float_of_int m.Rdt_coordinated.Koo_toueg.control_messages,
+          float_of_int (m.Rdt_coordinated.Koo_toueg.control_messages * marker_bits)
+          /. float_of_int m.Rdt_coordinated.Koo_toueg.app_messages,
+          m.Rdt_coordinated.Koo_toueg.mean_latency ))
+  in
+  add_means "koo-toueg" kt;
   (* CIC protocols: no control messages; overhead = piggyback *)
-  List.iter
-    (fun pname ->
+  let cic_protocols = [ "bhmr"; "fdas"; "cbr" ] in
+  let cells = grid_cells cic_protocols ~seeds in
+  let cic =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (pname, seed) -> (pname, "random", seed))
+      ~f:(fun (pname, seed) ->
+        let protocol = Registry.find_exn pname in
+        let w = Experiment.workload ~n ~max_messages "random" in
+        let seed = Experiment.cell_seed [ table; "cic" ] seed in
+        let r = Experiment.run_once w protocol ~seed in
+        let m = r.Runtime.metrics in
+        float_of_int (m.Rdt_core.Metrics.forced + m.Rdt_core.Metrics.basic))
+  in
+  List.iter2
+    (fun pname per_seed ->
       let protocol = Registry.find_exn pname in
-      let w = Experiment.workload ~n ~max_messages "random" in
-      let agg = Experiment.aggregate w protocol ~seeds in
       Table.add_row t
         [
           pname;
-          Table.cell_f (Stats.mean agg.Experiment.forced +. Stats.mean agg.Experiment.basic);
+          Table.cell_f (Stats.mean (mean_stats_of per_seed));
           "0.000";
           string_of_int (Rdt_core.Protocol.payload_bits protocol ~n);
           "-";
         ])
-    [ "bhmr"; "fdas"; "cbr" ];
+    cic_protocols (regroup ~seeds cic);
   t
 
-let table_breakeven ?(seeds = Experiment.default_seeds) () =
+let table_breakeven ?jobs ?report ?(seeds = Experiment.default_seeds) () =
+  let table = "BREAK-EVEN" in
   let n = 8 and max_messages = 1500 in
   let bhmr = Registry.find_exn "bhmr" in
   let bits_fdas = Rdt_core.Protocol.payload_bits fdas ~n in
   let bits_bhmr = Rdt_core.Protocol.payload_bits bhmr ~n in
+  let cells = grid_cells environments ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (ename, seed) -> ("bhmr", ename, seed))
+      ~f:(fun (ename, seed) ->
+        let w = Experiment.workload ~n ~max_messages ename in
+        let seed = Experiment.cell_seed [ table; ename ] seed in
+        let rf = Experiment.run_once w fdas ~seed in
+        let rb = Experiment.run_once w bhmr ~seed in
+        ( float_of_int rf.Runtime.metrics.Rdt_core.Metrics.forced,
+          float_of_int rb.Runtime.metrics.Rdt_core.Metrics.forced ))
+  in
   let t =
     Table.create
       ~header:
@@ -451,12 +630,11 @@ let table_breakeven ?(seeds = Experiment.default_seeds) () =
           "break-even ckpt size";
         ]
   in
-  List.iter
-    (fun ename ->
-      let w = Experiment.workload ~n ~max_messages ename in
-      let af = Experiment.aggregate w fdas ~seeds in
-      let ab = Experiment.aggregate w bhmr ~seeds in
-      let saved = Stats.mean af.Experiment.forced -. Stats.mean ab.Experiment.forced in
+  List.iter2
+    (fun ename per_seed ->
+      let ff = mean_stats_of (List.map fst per_seed) in
+      let fb = mean_stats_of (List.map snd per_seed) in
+      let saved = Stats.mean ff -. Stats.mean fb in
       let extra_bits = float_of_int ((bits_bhmr - bits_fdas) * max_messages) in
       let breakeven =
         if saved <= 0.0 then "inf"
@@ -467,20 +645,18 @@ let table_breakeven ?(seeds = Experiment.default_seeds) () =
       Table.add_row t
         [
           ename;
-          Table.cell_f (Stats.mean af.Experiment.forced);
-          Table.cell_f (Stats.mean ab.Experiment.forced);
+          Table.cell_f (Stats.mean ff);
+          Table.cell_f (Stats.mean fb);
           string_of_int (bits_bhmr - bits_fdas);
           breakeven;
         ])
-    environments;
+    environments (regroup ~seeds results);
   t
 
-let table_goodput ?(seeds = Experiment.quick_seeds) () =
+let table_goodput ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
+  let table = "TAB-GOODPUT" in
   let module CS = Rdt_failures.Crash_sim in
-  let t =
-    Table.create
-      ~header:[ "protocol"; "events undone"; "replayed"; "sends destroyed"; "delivered" ]
-  in
+  let protocols = [ "none"; "bcs"; "fdas"; "bhmr"; "cbr" ] in
   let crashes =
     [
       { CS.victim = 1; at = 2500; repair_delay = 200 };
@@ -488,34 +664,48 @@ let table_goodput ?(seeds = Experiment.quick_seeds) () =
       { CS.victim = 1; at = 7500; repair_delay = 200 };
     ]
   in
-  List.iter
-    (fun pname ->
-      let protocol = Registry.find_exn pname in
+  let cells = grid_cells protocols ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun (pname, seed) -> (pname, "random", seed))
+      ~f:(fun (pname, seed) ->
+        let protocol = Registry.find_exn pname in
+        let env = Rdt_workloads.Registry.find_exn "random" in
+        let seed = Experiment.cell_seed [ table; "random" ] seed in
+        let r =
+          CS.run
+            {
+              (CS.default_config env protocol) with
+              CS.n = 6;
+              seed;
+              max_messages = 1500;
+              crashes;
+            }
+        in
+        ( float_of_int r.CS.metrics.CS.total_events_undone,
+          float_of_int r.CS.metrics.CS.total_messages_replayed,
+          float_of_int
+            (List.fold_left (fun a (rc : CS.recovery) -> a + rc.CS.messages_undone) 0
+               r.CS.recoveries),
+          float_of_int r.CS.metrics.CS.messages_delivered ))
+  in
+  let t =
+    Table.create
+      ~header:[ "protocol"; "events undone"; "replayed"; "sends destroyed"; "delivered" ]
+  in
+  List.iter2
+    (fun pname per_seed ->
       let undone = Stats.create ()
       and replayed = Stats.create ()
       and destroyed = Stats.create ()
       and delivered = Stats.create () in
       List.iter
-        (fun seed ->
-          let env = Rdt_workloads.Registry.find_exn "random" in
-          let r =
-            CS.run
-              {
-                (CS.default_config env protocol) with
-                CS.n = 6;
-                seed;
-                max_messages = 1500;
-                crashes;
-              }
-          in
-          Stats.add undone (float_of_int r.CS.metrics.CS.total_events_undone);
-          Stats.add replayed (float_of_int r.CS.metrics.CS.total_messages_replayed);
-          Stats.add destroyed
-            (float_of_int
-               (List.fold_left (fun a (rc : CS.recovery) -> a + rc.CS.messages_undone) 0
-                  r.CS.recoveries));
-          Stats.add delivered (float_of_int r.CS.metrics.CS.messages_delivered))
-        seeds;
+        (fun (u, r, des, del) ->
+          Stats.add undone u;
+          Stats.add replayed r;
+          Stats.add destroyed des;
+          Stats.add delivered del)
+        per_seed;
       Table.add_row t
         [
           pname;
@@ -524,14 +714,45 @@ let table_goodput ?(seeds = Experiment.quick_seeds) () =
           Table.cell_f (Stats.mean destroyed);
           Table.cell_f (Stats.mean delivered);
         ])
-    [ "none"; "bcs"; "fdas"; "bhmr"; "cbr" ];
+    protocols (regroup ~seeds results);
   t
 
 let fault_envs = [ "random"; "group"; "client-server" ]
 
-let table_faults ?(seeds = Experiment.quick_seeds) () =
+let table_faults ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
+  let table = "TAB-FAULTS" in
   let bhmr = Registry.find_exn "bhmr" in
   let drops = [ 0.0; 0.02; 0.05; 0.1 ] in
+  let coords =
+    List.concat_map (fun drop -> List.map (fun e -> (drop, e)) fault_envs) drops
+  in
+  let cells = grid_cells coords ~seeds in
+  let results =
+    run_cells ?jobs ?report ~table cells
+      ~coords:(fun ((drop, ename), seed) -> ("bhmr", Printf.sprintf "%s drop=%g" ename drop, seed))
+      ~f:(fun ((drop, ename), seed) ->
+        (* paired against the reliable run of the same derived seed; the
+           drop=0 row isolates the effect of the FIFO transport alone *)
+        let faults = { Rdt_dist.Faults.none with drop } in
+        let w =
+          Experiment.workload ~n:6 ~max_messages:800 ~faults
+            ~transport:Rdt_dist.Transport.default_params ename
+        in
+        let w0 = Experiment.workload ~n:6 ~max_messages:800 ename in
+        let seed = Experiment.cell_seed [ table; ename; Printf.sprintf "%g" drop ] seed in
+        let r = Experiment.run_once w bhmr ~seed in
+        let r0 = Experiment.run_once w0 bhmr ~seed in
+        let f = r.Runtime.metrics.Rdt_core.Metrics.forced
+        and f0 = r0.Runtime.metrics.Rdt_core.Metrics.forced in
+        let ratio = if f0 > 0 then Some (float_of_int f /. float_of_int f0) else None in
+        match r.Runtime.transport with
+        | Some s ->
+            ( ratio,
+              float_of_int s.Rdt_dist.Transport.retransmissions
+              /. float_of_int (max 1 s.Rdt_dist.Transport.accepted),
+              s.Rdt_dist.Transport.undeliverable )
+        | None -> (ratio, 0.0, 0))
+  in
   let t =
     Table.create
       ~header:
@@ -539,54 +760,35 @@ let table_faults ?(seeds = Experiment.quick_seeds) () =
         :: List.concat_map (fun e -> [ e ^ " R(forced)"; e ^ " retx/msg"; e ^ " undeliv" ]) fault_envs
         )
   in
+  let grouped = List.combine coords (regroup ~seeds results) in
   List.iter
     (fun drop ->
-      let cells =
+      let row =
         List.concat_map
           (fun ename ->
-            (* paired against the reliable run of the same seed; the
-               drop=0 row isolates the effect of the FIFO transport alone *)
-            let faults = { Rdt_dist.Faults.none with drop } in
-            let w =
-              Experiment.workload ~n:6 ~max_messages:800 ~faults
-                ~transport:Rdt_dist.Transport.default_params ename
-            in
-            let w0 = Experiment.workload ~n:6 ~max_messages:800 ename in
-            let ratio = Stats.create () and retx = Stats.create () in
-            let undeliv = ref 0 in
-            List.iter
-              (fun seed ->
-                let r = Experiment.run_once w bhmr ~seed in
-                let r0 = Experiment.run_once w0 bhmr ~seed in
-                let f = r.Runtime.metrics.Rdt_core.Metrics.forced
-                and f0 = r0.Runtime.metrics.Rdt_core.Metrics.forced in
-                if f0 > 0 then Stats.add ratio (float_of_int f /. float_of_int f0);
-                match r.Runtime.transport with
-                | Some s ->
-                    Stats.add retx
-                      (float_of_int s.Rdt_dist.Transport.retransmissions
-                      /. float_of_int (max 1 s.Rdt_dist.Transport.accepted));
-                    undeliv := !undeliv + s.Rdt_dist.Transport.undeliverable
-                | None -> Stats.add retx 0.0)
-              seeds;
+            let per_seed = List.assoc (drop, ename) grouped in
+            let ratio = mean_stats_opt (List.map (fun (r, _, _) -> r) per_seed) in
+            let retx = mean_stats_of (List.map (fun (_, r, _) -> r) per_seed) in
+            let undeliv = List.fold_left (fun a (_, _, u) -> a + u) 0 per_seed in
             [
               Table.cell_f (Stats.mean ratio);
               Table.cell_f (Stats.mean retx);
-              string_of_int !undeliv;
+              string_of_int undeliv;
             ])
           fault_envs
       in
-      Table.add_row t (Printf.sprintf "%g" drop :: cells))
+      Table.add_row t (Printf.sprintf "%g" drop :: row))
     drops;
   t
 
-let run_all ?(quick = false) () =
+let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
-  print_figure (fig_random ~seeds ());
-  print_figure (fig_group ~seeds ());
-  print_figure (fig_client_server ~seeds ());
+  let t0 = Unix.gettimeofday () in
+  print_figure (fig_random ?jobs ?report ~seeds ());
+  print_figure (fig_group ?jobs ?report ~seeds ());
+  print_figure (fig_client_server ?jobs ?report ~seeds ());
   Format.printf "@.== TAB-PROTOCOLS: forced checkpoints per 100 basic (n=8) ==@.";
-  Table.print (table_protocols ~seeds ());
+  Table.print (table_protocols ?jobs ?report ~seeds ());
   Format.printf "@.== TAB-OVERHEAD: piggyback bits per message ==@.";
   Table.print (table_overhead ());
   Format.printf "@.== CLAIM-10PCT: reduction of forced checkpoints vs FDAS ==@.";
@@ -594,22 +796,24 @@ let run_all ?(quick = false) () =
     (fun (label, reduction) ->
       Format.printf "  %-22s %5.1f%%  %s@." label (100.0 *. reduction)
         (if reduction >= 0.10 then "(>= 10%: yes)" else "(>= 10%: no)"))
-    (claim_ten_percent ~seeds ());
+    (claim_ten_percent ?jobs ?report ~seeds ());
   Format.printf "@.== TAB-MINGCP: Corollary 4.5 (on-the-fly minimum global checkpoint) ==@.";
-  Table.print (table_min_gcp ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Table.print (table_min_gcp ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
   Format.printf "@.== ABLATION: predicate firings per variant (client-server, n=8) ==@.";
-  Table.print (table_ablation ~seeds ());
+  Table.print (table_ablation ?jobs ?report ~seeds ());
   Format.printf "@.== TAB-RECOVERY: useless checkpoints, domino and replay (client-server, n=6) ==@.";
-  Table.print (table_recovery ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Table.print (table_recovery ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
   Format.printf
     "@.== TAB-COORDINATED: coordinated snapshots vs CIC (random, n=8) ==@.";
-  Table.print (table_coordinated ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Table.print
+    (table_coordinated ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
   Format.printf "@.== BREAK-EVEN: checkpoint size above which bhmr beats fdas in total overhead ==@.";
-  Table.print (table_breakeven ~seeds ());
-  print_figure (fig_lost_work ~seeds ());
+  Table.print (table_breakeven ?jobs ?report ~seeds ());
+  print_figure (fig_lost_work ?jobs ?report ~seeds ());
   Format.printf "@.== TAB-GOODPUT: online crash recovery, 3 crashes (random, n=6) ==@.";
-  Table.print (table_goodput ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Table.print (table_goodput ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
   Format.printf
     "@.== TAB-FAULTS: forced-checkpoint inflation and retransmission cost vs drop rate (bhmr, n=6) ==@.";
-  Table.print (table_faults ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Table.print (table_faults ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  (match report with Some r -> Bench_report.set_wall r (Unix.gettimeofday () -. t0) | None -> ());
   Format.print_flush ()

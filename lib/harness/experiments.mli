@@ -4,7 +4,17 @@
 
     Every experiment both returns its data and can print a plain-text
     report.  [R] always denotes the paired ratio
-    forced(protocol) / forced(FDAS) on identical workload and seed. *)
+    forced(protocol) / forced(FDAS) on identical workload and seed.
+
+    Every grid decomposes into independent cells (one outer coordinate x
+    one base seed) sharded across a {!Pool} when [?jobs] exceeds 1.  Cell
+    RNG seeds come from {!Experiment.cell_seed}, a pure function of the
+    cell coordinates, so the produced tables are bit-identical for every
+    [jobs] value (and to a sequential run).  Paired runs — a protocol
+    against its FDAS baseline, a faulty run against its reliable twin —
+    happen inside one cell on one derived seed, preserving the paired
+    design under parallelism.  Pass [?report] to collect per-cell wall
+    times into a {!Bench_report}. *)
 
 type point = { x : float; stats : Stats.t }
 
@@ -16,18 +26,18 @@ val print_figure : figure -> unit
 
 (** {1 Figures} *)
 
-val fig_random : ?seeds:int list -> unit -> figure
+val fig_random : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> figure
 (** FIG-RANDOM: R vs number of processes in the general (uniform random)
     environment, for bhmr, bhmr-v1, bhmr-v2. *)
 
-val fig_group : ?seeds:int list -> unit -> figure
+val fig_group : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> figure
 (** FIG-8: R vs group size in overlapping group communication
     environments (n = 12). *)
 
-val fig_client_server : ?seeds:int list -> unit -> figure
+val fig_client_server : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> figure
 (** FIG-9: R vs number of servers in the client-server chain. *)
 
-val fig_lost_work : ?seeds:int list -> unit -> figure
+val fig_lost_work : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> figure
 (** FIG-LOST-WORK (extension): fraction of all executed events undone by
     a crash of process 0 at 60% of the run, as a function of the mean
     basic-checkpoint period, for [none], [bcs] and [bhmr] (random
@@ -37,30 +47,30 @@ val fig_lost_work : ?seeds:int list -> unit -> figure
 
 (** {1 Tables} *)
 
-val table_protocols : ?seeds:int list -> unit -> Table.t
+val table_protocols : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-PROTOCOLS: forced checkpoints per 100 basic checkpoints for every
     protocol of the hierarchy, in each environment (n = 8). *)
 
 val table_overhead : ?ns:int list -> unit -> Table.t
 (** TAB-OVERHEAD: piggyback size (bits/message) per protocol vs n. *)
 
-val claim_ten_percent : ?seeds:int list -> unit -> (string * float) list
+val claim_ten_percent : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> (string * float) list
 (** CLAIM-10PCT: per environment, the measured reduction
     [1 - R(bhmr vs fdas)].  The paper claims at least 10% in its study;
     see EXPERIMENTS.md for where our reproduction meets it. *)
 
-val table_min_gcp : ?seeds:int list -> unit -> Table.t
+val table_min_gcp : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-MINGCP: Corollary 4.5 validation — for each environment, the
     fraction of checkpoints whose on-line TDV equals the brute-force
     minimum consistent global checkpoint (expected 1.0 under every RDT
     protocol), and the mean rollback span of that minimum. *)
 
-val table_ablation : ?seeds:int list -> unit -> Table.t
+val table_ablation : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** ABLATION: which predicate fires how often, per protocol variant, on
     the client-server workload — quantifying what each piece of
     piggybacked knowledge buys. *)
 
-val table_recovery : ?seeds:int list -> unit -> Table.t
+val table_recovery : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-RECOVERY (extension): what the guarantees buy at recovery time.
     For [none], [bcs], [fdas] and [bhmr] on a chatty workload: the
     fraction of useless checkpoints (members of no consistent global
@@ -68,14 +78,14 @@ val table_recovery : ?seeds:int list -> unit -> Table.t
     the fraction of their work the {e survivors} lose, the in-transit
     messages a logging layer must replay, and the events to re-execute. *)
 
-val table_coordinated : ?seeds:int list -> unit -> Table.t
+val table_coordinated : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-COORDINATED (extension): the introduction's contrast between
     coordinated checkpointing ("at the price of synchronization by means
     of additional control messages", Chandy-Lamport [3]) and CIC.  On the
     random workload: checkpoints taken, control messages, and total
     control overhead (marker traffic vs piggybacked bits) per approach. *)
 
-val table_breakeven : ?seeds:int list -> unit -> Table.t
+val table_breakeven : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** BREAK-EVEN (extension): when is the protocol's n² piggyback worth it?
     Total overhead is modelled as [piggyback_bits × messages +
     checkpoint_cost × forced]; the table reports, per environment (n = 8),
@@ -83,14 +93,14 @@ val table_breakeven : ?seeds:int list -> unit -> Table.t
     it pays, and the break-even checkpoint size above which bhmr's total
     overhead is lower. *)
 
-val table_goodput : ?seeds:int list -> unit -> Table.t
+val table_goodput : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-GOODPUT (extension): online fault tolerance.  Under a fixed plan
     of three crashes (random workload, n = 6), per protocol: events
     undone by the rollbacks, messages replayed from logs, messages whose
     sends were destroyed, and the surviving deliveries — live domino
     effect versus surgical RDT recovery. *)
 
-val table_faults : ?seeds:int list -> unit -> Table.t
+val table_faults : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> unit -> Table.t
 (** TAB-FAULTS (extension): robustness of the protocol stack to an
     unreliable network.  For bhmr over the reliable-delivery transport
     (n = 6), per packet-drop rate and environment: the paired
@@ -101,5 +111,5 @@ val table_faults : ?seeds:int list -> unit -> Table.t
 
 (** {1 Everything} *)
 
-val run_all : ?quick:bool -> unit -> unit
+val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit
 (** Prints every figure and table ([quick] uses 3 seeds instead of 10). *)

@@ -1,0 +1,31 @@
+(* Domain-pool backend (OCaml >= 5).  Selected by a dune rule; the 4.x
+   build uses pool_backend_seq.ml instead.  Workers pull slot indices from
+   a shared atomic counter; each slot is executed exactly once, and
+   Domain.join gives the caller a happens-before edge over every slot's
+   write. *)
+
+let parallelism_available = true
+
+let cpu_count () = Domain.recommended_domain_count ()
+
+let iter_slots ~jobs ~count task =
+  if jobs <= 1 || count <= 1 then
+    for i = 0 to count - 1 do
+      task i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < count then begin
+          task i;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (min jobs count - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end

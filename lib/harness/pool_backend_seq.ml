@@ -1,0 +1,12 @@
+(* Sequential fallback backend (OCaml 4.x, no Domain module).  Selected by
+   a dune rule; keeps the Pool interface — and therefore every caller —
+   identical across the CI compiler matrix. *)
+
+let parallelism_available = false
+
+let cpu_count () = 1
+
+let iter_slots ~jobs:_ ~count task =
+  for i = 0 to count - 1 do
+    task i
+  done

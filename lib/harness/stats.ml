@@ -31,6 +31,30 @@ let min t = if t.count = 0 then invalid_arg "Stats.min: empty" else t.min
 
 let max t = if t.count = 0 then invalid_arg "Stats.max: empty" else t.max
 
+(* Chan-Golub-LeVeque pairwise combination of two Welford accumulators;
+   exact on counts, stable on moments.  Lets grid cells accumulate their
+   own Stats and the caller fold them in deterministic cell order. *)
+let merge ~into:a b =
+  if b.count > 0 then begin
+    if a.count = 0 then begin
+      a.count <- b.count;
+      a.mean <- b.mean;
+      a.m2 <- b.m2;
+      a.min <- b.min;
+      a.max <- b.max
+    end
+    else begin
+      let na = float_of_int a.count and nb = float_of_int b.count in
+      let delta = b.mean -. a.mean in
+      let n = na +. nb in
+      a.m2 <- a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      a.mean <- a.mean +. (delta *. nb /. n);
+      a.count <- a.count + b.count;
+      if b.min < a.min then a.min <- b.min;
+      if b.max > a.max then a.max <- b.max
+    end
+  end
+
 let of_list xs =
   let t = create () in
   List.iter (add t) xs;

@@ -27,6 +27,14 @@ val min : t -> float
 val max : t -> float
 (** @raise Invalid_argument when empty. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into:a b] folds [b]'s samples into [a] (Chan-Golub-LeVeque
+    pairwise combination): afterwards [a] reports the statistics of both
+    sample sets together.  [b] is unchanged.  Exact for count/min/max;
+    mean and variance agree with element-wise {!add} up to the usual
+    floating-point reassociation.  Deterministic: merging the same
+    accumulators in the same order always yields the same bits. *)
+
 val of_list : float list -> t
 
 val pp : Format.formatter -> t -> unit

@@ -13,6 +13,11 @@ let add_row t row =
 
 let add_separator t = t.lines <- Separator :: t.lines
 
+let header t = t.header
+
+let rows t =
+  List.filter_map (function Row r -> Some r | Separator -> None) (List.rev t.lines)
+
 let render t =
   let rows = List.rev t.lines in
   let widths = Array.of_list (List.map String.length t.header) in

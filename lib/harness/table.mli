@@ -9,6 +9,12 @@ val add_row : t -> string list -> unit
 
 val add_separator : t -> unit
 
+val header : t -> string list
+
+val rows : t -> string list list
+(** The data rows in insertion order (separators omitted); the raw cells
+    the determinism tests compare across [--jobs] values. *)
+
 val render : t -> string
 (** Column-aligned ASCII table. *)
 

@@ -1,0 +1,171 @@
+(* Determinism of the parallel experiment grid.
+
+   Headline: sharding a grid over the Pool changes nothing but the
+   wall-clock — for every registry protocol x environment the per-run
+   metrics are identical under jobs 1/2/4/8, and whole experiment tables
+   (including the TAB-FAULTS fault grid) render byte-identical rows for
+   every worker count.  Plus unit tests for Pool.map itself: order,
+   exception propagation, argument validation and RDT_JOBS parsing. *)
+
+module Pool = Rdt_harness.Pool
+module Experiments = Rdt_harness.Experiments
+module Table = Rdt_harness.Table
+module Bench_report = Rdt_harness.Bench_report
+module Runtime = Rdt_core.Runtime
+module Registry = Rdt_core.Registry
+module Protocol = Rdt_core.Protocol
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_is_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  let expect = List.map f xs in
+  List.iter
+    (fun jobs -> Alcotest.(check (list int)) (Printf.sprintf "jobs=%d" jobs) expect (Pool.map ~jobs f xs))
+    [ 1; 2; 8 ];
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~jobs:4 f []);
+  Alcotest.(check (list int)) "singleton" [ f 7 ] (Pool.map ~jobs:4 f [ 7 ])
+
+let test_map_timed_results () =
+  let xs = [ 3; 1; 4; 1; 5 ] in
+  let timed = Pool.map_timed ~jobs:2 (fun x -> x * 10) xs in
+  Alcotest.(check (list int)) "values" (List.map (fun x -> x * 10) xs) (List.map fst timed);
+  check "timings are non-negative" true (List.for_all (fun (_, dt) -> dt >= 0.0) timed)
+
+let test_map_invalid_jobs () =
+  check "jobs=0 rejected" true
+    (try
+       ignore (Pool.map ~jobs:0 Fun.id [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+exception Boom of int
+
+let test_map_exception_propagation () =
+  (* the smallest failing index wins, independent of scheduling *)
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs (fun x -> if x mod 3 = 0 then raise (Boom x) else x) (List.init 20 (fun i -> i + 1)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x -> Alcotest.(check int) (Printf.sprintf "jobs=%d" jobs) 3 x)
+    [ 1; 2; 8 ]
+
+let test_default_jobs_env () =
+  let with_env v f =
+    let old = Sys.getenv_opt "RDT_JOBS" in
+    Unix.putenv "RDT_JOBS" v;
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv "RDT_JOBS" (Option.value old ~default:""))
+  in
+  with_env "3" (fun () -> Alcotest.(check int) "RDT_JOBS=3" 3 (Pool.default_jobs ()));
+  with_env "0" (fun () -> Alcotest.(check int) "RDT_JOBS=0 falls back" 1 (Pool.default_jobs ()));
+  with_env "wat" (fun () -> Alcotest.(check int) "garbage falls back" 1 (Pool.default_jobs ()));
+  with_env "9999" (fun () -> Alcotest.(check int) "clamped" 128 (Pool.default_jobs ()))
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell metrics: registry x environments                           *)
+(* ------------------------------------------------------------------ *)
+
+let environments = [ "random"; "group"; "client-server"; "prodcons"; "master-worker"; "stencil" ]
+
+let run_cell (pname, ename) =
+  let protocol = Registry.find_exn pname in
+  let env = Rdt_workloads.Registry.find_exn ename in
+  let r =
+    Runtime.run
+      {
+        (Runtime.default_config env protocol) with
+        Runtime.n = 5;
+        seed = Rdt_dist.Rng.derive_seed 1 (pname ^ "/" ^ ename);
+        max_messages = 150;
+      }
+  in
+  (r.Runtime.metrics, r.Runtime.predicate_counts)
+
+let test_registry_grid_metrics () =
+  (* every protocol in the registry, every environment: the pool must
+     reproduce the sequential per-cell metrics exactly *)
+  let cells =
+    List.concat_map
+      (fun p -> List.map (fun e -> (Protocol.name p, e)) environments)
+      Registry.all
+  in
+  let sequential = List.map run_cell cells in
+  List.iter
+    (fun jobs ->
+      let parallel = Pool.map ~jobs run_cell cells in
+      List.iteri
+        (fun i ((pname, ename), (seq, par)) ->
+          ignore i;
+          check (Printf.sprintf "jobs=%d %s/%s" jobs pname ename) true (seq = par))
+        (List.combine cells (List.combine sequential parallel)))
+    [ 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Whole tables: byte-identical rows for every worker count            *)
+(* ------------------------------------------------------------------ *)
+
+let table_repr t = (Table.header t, Table.rows t)
+
+let test_table_protocols_jobs_independent () =
+  let reference = table_repr (Experiments.table_protocols ~jobs:1 ~seeds:[ 1 ] ()) in
+  let again = table_repr (Experiments.table_protocols ~jobs:4 ~seeds:[ 1 ] ()) in
+  check "TAB-PROTOCOLS rows identical under jobs=4" true (reference = again)
+
+let test_table_faults_jobs_independent () =
+  (* the TAB-FAULTS grid runs paired faulty/reliable cells through the
+     transport; still bit-identical when sharded *)
+  let reference = table_repr (Experiments.table_faults ~jobs:1 ~seeds:[ 1 ] ()) in
+  let again = table_repr (Experiments.table_faults ~jobs:4 ~seeds:[ 1 ] ()) in
+  check "TAB-FAULTS rows identical under jobs=4" true (reference = again)
+
+let test_claim_worker_count_independent () =
+  (* same measured reductions for 1, 2 and 8 workers *)
+  let reference = Experiments.claim_ten_percent ~jobs:1 ~seeds:[ 1; 2 ] () in
+  List.iter
+    (fun jobs ->
+      let again = Experiments.claim_ten_percent ~jobs ~seeds:[ 1; 2 ] () in
+      check (Printf.sprintf "CLAIM-10PCT identical under jobs=%d" jobs) true (reference = again))
+    [ 2; 8 ]
+
+let test_report_cell_sequence () =
+  (* the report records the same cells in the same (grid) order whether
+     or not the grid was sharded; only the timings differ *)
+  let coords r =
+    List.map
+      (fun (c : Bench_report.cell) -> (c.table, c.protocol, c.env, c.seed))
+      (Bench_report.cells r)
+  in
+  let r1 = Bench_report.create ~jobs:1 in
+  ignore (Experiments.table_faults ~jobs:1 ~report:r1 ~seeds:[ 1 ] ());
+  let r4 = Bench_report.create ~jobs:4 in
+  ignore (Experiments.table_faults ~jobs:4 ~report:r4 ~seeds:[ 1 ] ());
+  check "cell sequences match" true (coords r1 = coords r4);
+  check "cells were recorded" true (coords r1 <> []);
+  check "json renders" true (String.length (Bench_report.to_json r4) > 0)
+
+let () =
+  Alcotest.run "rdt_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = List.map for every jobs" `Quick test_map_is_list_map;
+          Alcotest.test_case "map_timed values and timings" `Quick test_map_timed_results;
+          Alcotest.test_case "invalid jobs" `Quick test_map_invalid_jobs;
+          Alcotest.test_case "exception of smallest index" `Quick test_map_exception_propagation;
+          Alcotest.test_case "RDT_JOBS parsing" `Quick test_default_jobs_env;
+        ] );
+      ( "grid determinism",
+        [
+          Alcotest.test_case "registry x environments metrics" `Slow test_registry_grid_metrics;
+          Alcotest.test_case "TAB-PROTOCOLS byte-identical" `Slow test_table_protocols_jobs_independent;
+          Alcotest.test_case "TAB-FAULTS byte-identical" `Slow test_table_faults_jobs_independent;
+          Alcotest.test_case "worker-count independence (1,2,8)" `Slow test_claim_worker_count_independent;
+          Alcotest.test_case "report cell sequence" `Quick test_report_cell_sequence;
+        ] );
+    ]

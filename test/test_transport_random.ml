@@ -1,0 +1,201 @@
+(* Randomized property suite for the reliable-delivery transport.
+
+   QCheck generates fault schedules (drop/dup/reorder rates, partition
+   windows, retransmission parameters, traffic shapes) and drives the
+   per-link state machine in isolation.  Invariants checked on every
+   schedule: the link drains, accepted = delivered + undeliverable,
+   delivery is exactly-once FIFO, and the stats counters are coherent.
+   Plus a directed test that re-handles wire packets verbatim to pin down
+   idempotent duplicate suppression. *)
+
+module Transport = Rdt_dist.Transport
+module Faults = Rdt_dist.Faults
+module Channel = Rdt_dist.Channel
+module Rng = Rdt_dist.Rng
+module EQ = Rdt_dist.Event_queue
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* One generated scenario: a single src -> dst link under faults. *)
+type scenario = {
+  seed : int;
+  drop : float;
+  dup : float;
+  reorder : float;
+  window : int;
+  partition : (int * int) option;  (* dst cut off during [from_t, to_t) *)
+  max_retx : int;
+  retx_timeout : int;
+  messages : int;
+  send_gap : int;  (* ticks between consecutive sends *)
+}
+
+let scenario_gen =
+  let open QCheck.Gen in
+  let* seed = nat in
+  let* drop = float_bound_inclusive 0.4 in
+  let* dup = float_bound_inclusive 0.3 in
+  let* reorder = float_bound_inclusive 0.3 in
+  let* window = 1 -- 80 in
+  let* partition =
+    frequency
+      [ (2, return None); (1, map (fun a -> Some (a, a + 500)) (0 -- 1500)) ]
+  in
+  let* max_retx = 6 -- 30 in
+  let* retx_timeout = 50 -- 400 in
+  let* messages = 1 -- 120 in
+  let+ send_gap = 0 -- 40 in
+  { seed; drop; dup; reorder; window; partition; max_retx; retx_timeout; messages; send_gap }
+
+let print_scenario s =
+  Printf.sprintf
+    "{seed=%d drop=%.2f dup=%.2f reorder=%.2f/%d partition=%s max_retx=%d rto=%d msgs=%d gap=%d}"
+    s.seed s.drop s.dup s.reorder s.window
+    (match s.partition with None -> "-" | Some (a, b) -> Printf.sprintf "%d-%d" a b)
+    s.max_retx s.retx_timeout s.messages s.send_gap
+
+let scenario_arbitrary = QCheck.make ~print:print_scenario scenario_gen
+
+let faults_of s =
+  {
+    Faults.drop = s.drop;
+    dup = s.dup;
+    reorder = s.reorder;
+    reorder_window = (if s.reorder > 0.0 then s.window else 0);
+    partitions =
+      (match s.partition with
+      | None -> []
+      | Some (from_t, to_t) -> [ { Faults.between = [ 1 ]; from_t; to_t } ]);
+  }
+
+(* Run the scenario to completion; returns deliveries in order, the
+   undeliverable set and the final stats. *)
+let run_scenario s =
+  let params =
+    { Transport.default_params with retx_timeout = s.retx_timeout; max_retx = s.max_retx }
+  in
+  let tp =
+    Transport.create ~n:2 ~params ~faults:(faults_of s) ~channel:(Channel.Uniform (5, 60))
+      ~rng:(Rng.create s.seed)
+  in
+  let q = EQ.create () in
+  let delivered = ref [] and undeliv = ref [] in
+  let apply now emits =
+    ignore now;
+    List.iter
+      (function
+        | Transport.Deliver { msg; _ } -> delivered := msg :: !delivered
+        | Transport.Wire { at; wire } -> EQ.schedule q ~time:at wire
+        | Transport.Undeliverable { msg; _ } -> undeliv := msg :: !undeliv)
+      emits
+  in
+  for i = 0 to s.messages - 1 do
+    apply 0 (Transport.send tp ~now:(i * s.send_gap) ~src:0 ~dst:1 i)
+  done;
+  let rec loop () =
+    match EQ.pop q with
+    | None -> ()
+    | Some (t, w) ->
+        apply t (Transport.handle tp ~now:t w);
+        loop ()
+  in
+  loop ();
+  (tp, List.rev !delivered, !undeliv)
+
+let prop_conservation =
+  QCheck.Test.make ~name:"accepted = delivered + undeliverable, and the link drains" ~count:150
+    scenario_arbitrary (fun s ->
+      let tp, delivered, undeliv = run_scenario s in
+      let stats = Transport.stats tp in
+      Transport.in_flight tp = 0
+      && stats.Transport.accepted = s.messages
+      && stats.Transport.accepted = stats.Transport.delivered + stats.Transport.undeliverable
+      && List.length delivered = stats.Transport.delivered
+      && List.length undeliv = stats.Transport.undeliverable)
+
+let prop_exactly_once_fifo =
+  QCheck.Test.make ~name:"exactly-once FIFO delivery" ~count:150 scenario_arbitrary (fun s ->
+      let _, delivered, undeliv = run_scenario s in
+      (* strictly increasing payloads: in order, no duplicate *)
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | [ _ ] | [] -> true
+      in
+      (* delivered and undeliverable partition the sent payloads *)
+      let all = List.sort compare (delivered @ undeliv) in
+      increasing delivered && all = List.init s.messages Fun.id)
+
+let prop_reliable_when_faultless =
+  QCheck.Test.make ~name:"no faults: everything delivered, nothing retransmitted spuriously"
+    ~count:50 scenario_arbitrary (fun s ->
+      let s = { s with drop = 0.0; dup = 0.0; reorder = 0.0; partition = None } in
+      let tp, delivered, undeliv = run_scenario s in
+      let stats = Transport.stats tp in
+      undeliv = []
+      && delivered = List.init s.messages Fun.id
+      && stats.Transport.packets_dropped = 0
+      && stats.Transport.duplicated = 0)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same scenario, same outcome" ~count:40 scenario_arbitrary (fun s ->
+      let _, d1, u1 = run_scenario s in
+      let _, d2, u2 = run_scenario s in
+      d1 = d2 && u1 = u2)
+
+(* ------------------------------------------------------------------ *)
+(* Directed: idempotent duplicate suppression                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_duplicate_data_suppressed () =
+  (* replay every Data packet a second time, one tick later: each copy
+     past the first must be discarded without a second delivery *)
+  let tp =
+    Transport.create ~n:2 ~params:Transport.default_params ~faults:Faults.none
+      ~channel:(Channel.Uniform (5, 10)) ~rng:(Rng.create 11)
+  in
+  let q = EQ.create () in
+  let delivered = ref [] in
+  let apply now emits =
+    ignore now;
+    List.iter
+      (function
+        | Transport.Deliver { msg; _ } -> delivered := msg :: !delivered
+        | Transport.Wire { at; wire } ->
+            EQ.schedule q ~time:at wire;
+            (match wire with
+            | Transport.Data _ -> EQ.schedule q ~time:(at + 1) wire
+            | Transport.Ack _ | Transport.Retx_timer _ -> ())
+        | Transport.Undeliverable _ -> Alcotest.fail "nothing is undeliverable here")
+      emits
+  in
+  for i = 0 to 29 do
+    apply 0 (Transport.send tp ~now:0 ~src:0 ~dst:1 i)
+  done;
+  let rec loop () =
+    match EQ.pop q with
+    | None -> ()
+    | Some (t, w) ->
+        apply t (Transport.handle tp ~now:t w);
+        loop ()
+  in
+  loop ();
+  Alcotest.(check (list int)) "each message delivered exactly once"
+    (List.init 30 Fun.id) (List.rev !delivered);
+  let stats = Transport.stats tp in
+  Alcotest.(check bool) "duplicates were seen and suppressed" true
+    (stats.Transport.duplicates_suppressed >= 30);
+  Alcotest.(check int) "drained" 0 (Transport.in_flight tp)
+
+let () =
+  Alcotest.run "rdt_transport_random"
+    [
+      ( "random schedules",
+        [
+          qt prop_conservation;
+          qt prop_exactly_once_fifo;
+          qt prop_reliable_when_faultless;
+          qt prop_deterministic;
+        ] );
+      ( "duplicates",
+        [ Alcotest.test_case "idempotent re-handling of Data wires" `Quick test_duplicate_data_suppressed ] );
+    ]
