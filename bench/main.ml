@@ -129,6 +129,7 @@ let () =
   if not micro_only then Rdt_harness.Experiments.run_all ~quick ~jobs ~report ();
   if not no_micro then run_micro ~report ();
   Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
+  Rdt_harness.Bench_report.record_obs report;
   Rdt_harness.Bench_report.write json report;
   Format.printf "@.wrote %s (wall %.2fs, %d cells, jobs=%d)@." json
     (Rdt_harness.Bench_report.wall report)

@@ -156,7 +156,7 @@ let faults_term =
   Term.(
     const mk $ drop $ dup $ reorder $ reorder_window $ partition $ retx_timeout $ max_retx)
 
-let config env protocol n seed messages (faults, transport) =
+let config ?(trace = Rdt_obs.Trace.null) env protocol n seed messages (faults, transport) =
   {
     (Rdt_core.Runtime.default_config ((fun (_, f) -> f ()) env) protocol) with
     Rdt_core.Runtime.n;
@@ -164,7 +164,33 @@ let config env protocol n seed messages (faults, transport) =
     max_messages = messages;
     faults;
     transport;
+    trace;
   }
+
+(* ---- event tracing (run, verify, recover and crashrun) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSONL event trace of the run to $(docv), one self-describing JSON object \
+           per line; $(b,rdtsim trace) summarizes, filters and replay-checks it offline.")
+
+(* Run [f] with a trace recorder: [Trace.null] when no file was asked
+   for, otherwise a JSONL channel recorder with the run's [Meta] header
+   already written. *)
+let with_trace file ~mode ~n ~protocol ~env ~seed f =
+  match file with
+  | None -> f Rdt_obs.Trace.null
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          let tr = Rdt_obs.Trace.to_channel oc in
+          Rdt_obs.Trace.emit tr
+            (Rdt_obs.Trace.Meta
+               { n; protocol = Rdt_core.Protocol.name protocol; env = fst env; seed; mode });
+          f tr)
 
 let print_metrics (r : Rdt_core.Runtime.result) =
   Format.printf "%a@." Rdt_core.Metrics.pp r.metrics;
@@ -191,8 +217,9 @@ let run_cmd =
       & info [ "draw" ]
           ~doc:"Print an ASCII space-time diagram of the run (small runs only).")
   in
-  let action env protocol n seed messages net dot draw =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
+  let action env protocol n seed messages net dot draw trace =
+    with_trace trace ~mode:"run" ~n ~protocol ~env ~seed @@ fun tr ->
+    let r = Rdt_core.Runtime.run (config ~trace:tr env protocol n seed messages net) in
     print_metrics r;
     if draw then begin
       match Rdt_pattern.Render.ascii r.pattern with
@@ -210,25 +237,34 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ dot $ draw)
+      $ dot $ draw $ trace_arg)
 
 let verify_cmd =
   let doc = "Simulate one run and verify the RDT property offline (three checkers)." in
-  let action env protocol n seed messages net =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
+  let action env protocol n seed messages net trace =
+    with_trace trace ~mode:"verify" ~n ~protocol ~env ~seed @@ fun tr ->
+    let r = Rdt_core.Runtime.run (config ~trace:tr env protocol n seed messages net) in
     print_metrics r;
-    let rep = Rdt_core.Checker.check r.pattern in
+    (* record each checker's verdict in the trace so [rdtsim trace replay]
+       can assert the rebuilt pattern agrees with the live run *)
+    let verdict name (rep : Rdt_core.Checker.report) =
+      Rdt_obs.Trace.emit tr (Rdt_obs.Trace.Verdict { checker = name; rdt = rep.rdt });
+      rep
+    in
+    let rep = verdict "rgraph_tdv" (Rdt_core.Checker.check r.pattern) in
     Format.printf "R-graph vs TDV     : %a@." Rdt_core.Checker.pp_report rep;
     Format.printf "causal-chain search: %a@." Rdt_core.Checker.pp_report
-      (Rdt_core.Checker.check_chains r.pattern);
+      (verdict "chains" (Rdt_core.Checker.check_chains r.pattern));
     Format.printf "CM-path doubling   : %a@." Rdt_core.Checker.pp_report
-      (Rdt_core.Checker.check_doubling r.pattern);
+      (verdict "doubling" (Rdt_core.Checker.check_doubling r.pattern));
     Format.printf "Corollary 4.5      : %s@."
       (if Rdt_core.Min_gcp.corollary_holds r.pattern then "holds" else "VIOLATED");
     if not rep.Rdt_core.Checker.rdt then exit 1
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term)
+    Term.(
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
+      $ trace_arg)
 
 (* ---- grid sharding flags (experiments and table) ---- *)
 
@@ -257,6 +293,7 @@ let write_report report json =
   match json with
   | None -> ()
   | Some file ->
+      Rdt_harness.Bench_report.record_obs report;
       Rdt_harness.Bench_report.write file report;
       Format.printf "timing report written to %s@." file
 
@@ -374,8 +411,9 @@ let recover_cmd =
           ~doc:"Crash time as a fraction of the run duration; the crashed processes lose every \
                 checkpoint taken after it.")
   in
-  let action env protocol n seed messages net crashes at =
-    let r = Rdt_core.Runtime.run (config env protocol n seed messages net) in
+  let action env protocol n seed messages net crashes at trace =
+    with_trace trace ~mode:"recover" ~n ~protocol ~env ~seed @@ fun tr ->
+    let r = Rdt_core.Runtime.run (config ~trace:tr env protocol n seed messages net) in
     print_metrics r;
     let pat = r.pattern in
     let crash_time =
@@ -405,7 +443,7 @@ let recover_cmd =
   Cmd.v (Cmd.info "recover" ~doc)
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ crash_arg $ at_arg)
+      $ crash_arg $ at_arg $ trace_arg)
 
 let snapshot_cmd =
   let doc = "Run coordinated (Chandy-Lamport) snapshots over a workload and verify the cuts." in
@@ -489,8 +527,9 @@ let crashrun_cmd =
   let repair_arg =
     Arg.(value & opt int 200 & info [ "repair" ] ~docv:"D" ~doc:"Downtime before recovery.")
   in
-  let action env protocol n seed messages net crashes repair =
+  let action env protocol n seed messages net crashes repair trace =
     let module CS = Rdt_failures.Crash_sim in
+    with_trace trace ~mode:"crashrun" ~n ~protocol ~env ~seed @@ fun tr ->
     let faults, transport = net in
     let crashes =
       List.map (fun (victim, at) -> { CS.victim; at; repair_delay = repair }) crashes
@@ -505,6 +544,7 @@ let crashrun_cmd =
           crashes;
           faults;
           transport;
+          trace = tr;
         }
     in
     List.iter
@@ -524,13 +564,122 @@ let crashrun_cmd =
       Format.printf "network: %d retransmissions, %d packets dropped, %d undeliverable@."
         r.metrics.CS.retransmissions r.metrics.CS.packets_dropped r.metrics.CS.undeliverable;
     Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
-    Format.printf "RDT on the surviving execution: %a@." Rdt_core.Checker.pp_report
-      (Rdt_core.Checker.check r.pattern)
+    let rep = Rdt_core.Checker.check r.pattern in
+    Rdt_obs.Trace.emit tr
+      (Rdt_obs.Trace.Verdict { checker = "rgraph_tdv"; rdt = rep.Rdt_core.Checker.rdt });
+    Format.printf "RDT on the surviving execution: %a@." Rdt_core.Checker.pp_report rep
   in
   Cmd.v (Cmd.info "crashrun" ~doc)
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ crash_arg $ repair_arg)
+      $ crash_arg $ repair_arg $ trace_arg)
+
+(* ---- offline trace tooling ---- *)
+
+let trace_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSONL trace file.")
+
+let load_trace file =
+  match Rdt_obs.Trace.read_file file with
+  | Ok events -> events
+  | Error e ->
+      Format.eprintf "rdtsim: %s@." e;
+      exit 2
+
+let trace_summary_cmd =
+  let doc = "Summarize a trace: event counts by kind, forced-checkpoint predicates." in
+  let action file =
+    let events = load_trace file in
+    (match Rdt_obs.Replay.meta events with
+    | Some (n, protocol, env, seed, mode) ->
+        Format.printf "%s: protocol=%s env=%s n=%d seed=%d@." mode protocol env n seed
+    | None -> ());
+    Format.printf "%a@." Rdt_obs.Replay.pp_summary (Rdt_obs.Replay.summarize events)
+  in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const action $ trace_file_arg)
+
+let trace_filter_cmd =
+  let doc = "Reprint the events of the selected kinds, one JSON object per line." in
+  let kinds_arg =
+    Arg.(
+      non_empty
+      & pos_right 0 (enum (List.map (fun k -> (k, k)) Rdt_obs.Trace.kind_names)) []
+      & info [] ~docv:"KIND"
+          ~doc:
+            (Printf.sprintf "Event kinds to keep.  One of %s."
+               (String.concat ", " Rdt_obs.Trace.kind_names)))
+  in
+  let action file kinds =
+    List.iter
+      (fun ev ->
+        if List.mem (Rdt_obs.Trace.kind_name ev) kinds then
+          print_endline (Rdt_obs.Trace.encode ev))
+      (load_trace file)
+  in
+  Cmd.v (Cmd.info "filter" ~doc) Term.(const action $ trace_file_arg $ kinds_arg)
+
+let trace_replay_cmd =
+  let doc =
+    "Rebuild the run's pattern from a trace, re-run the three RDT checkers on it, and check \
+     the verdicts against the ones recorded in the trace (non-zero exit on mismatch)."
+  in
+  let action file =
+    let events = load_trace file in
+    match Rdt_obs.Replay.rebuild events with
+    | Error e ->
+        Format.eprintf "rdtsim: cannot rebuild the pattern: %s@." e;
+        exit 2
+    | Ok pat ->
+        Format.printf "%a@." Rdt_pattern.Pattern.pp_summary pat;
+        let replayed =
+          [
+            ("rgraph_tdv", (Rdt_core.Checker.check pat).Rdt_core.Checker.rdt);
+            ("chains", (Rdt_core.Checker.check_chains pat).Rdt_core.Checker.rdt);
+            ("doubling", (Rdt_core.Checker.check_doubling pat).Rdt_core.Checker.rdt);
+          ]
+        in
+        List.iter
+          (fun (name, rdt) ->
+            Format.printf "replayed %-10s: %s@." name
+              (if rdt then "RDT holds" else "RDT VIOLATED"))
+          replayed;
+        let recorded = Rdt_obs.Replay.verdicts events in
+        if recorded = [] then
+          Format.printf "no verdicts recorded in the trace; nothing to compare@."
+        else begin
+          let mismatches =
+            List.filter
+              (fun (name, rdt) -> List.assoc_opt name replayed <> Some rdt)
+              recorded
+          in
+          if mismatches = [] then
+            Format.printf "replay agrees with the %d recorded verdict(s)@."
+              (List.length recorded)
+          else begin
+            List.iter
+              (fun (name, rdt) ->
+                Format.printf "MISMATCH %s: live run recorded rdt=%b@." name rdt)
+              mismatches;
+            exit 1
+          end
+        end
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const action $ trace_file_arg)
+
+let trace_cmd =
+  let doc = "Summarize, filter, or replay-and-check a JSONL event trace." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Operates on trace files produced by the $(b,--trace) option of $(b,run), \
+         $(b,verify), $(b,recover) and $(b,crashrun).  $(b,replay) turns a trace into a \
+         correctness artifact: it rebuilds the checkpoint-and-communication pattern from \
+         the events alone and asserts that the offline RDT checkers reach the same verdicts \
+         as the live run.";
+    ]
+  in
+  Cmd.group (Cmd.info "trace" ~doc ~man) [ trace_summary_cmd; trace_filter_cmd; trace_replay_cmd ]
 
 let list_cmd =
   let doc = "List available protocols and environments." in
@@ -554,7 +703,7 @@ let main =
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
     [
       run_cmd; verify_cmd; experiments_cmd; table_cmd; recover_cmd; snapshot_cmd; twophase_cmd;
-      crashrun_cmd; list_cmd;
+      crashrun_cmd; trace_cmd; list_cmd;
     ]
 
 let () =

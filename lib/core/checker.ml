@@ -7,21 +7,30 @@ module Ptypes = Rdt_pattern.Types
 type violation = {
   from_ckpt : Ptypes.ckpt_id;
   to_ckpt : Ptypes.ckpt_id;
-  tracked : int;
+  tracked : int option;
 }
 
-type report = { rdt : bool; violations : violation list; r_paths_checked : int }
+type units = R_dependencies | Cm_paths
+
+type report = { rdt : bool; violations : violation list; checked : int; units : units }
 
 let max_reported = 20
 
 let pp_violation ppf v =
-  Format.fprintf ppf "R-path %a ~> %a is not trackable (TDV entry = %d)" Ptypes.pp_ckpt_id
-    v.from_ckpt Ptypes.pp_ckpt_id v.to_ckpt v.tracked
+  match v.tracked with
+  | Some t ->
+      Format.fprintf ppf "R-path %a ~> %a is not trackable (TDV entry = %d)" Ptypes.pp_ckpt_id
+        v.from_ckpt Ptypes.pp_ckpt_id v.to_ckpt t
+  | None ->
+      Format.fprintf ppf "R-path %a ~> %a is not trackable (no TDV witness)" Ptypes.pp_ckpt_id
+        v.from_ckpt Ptypes.pp_ckpt_id v.to_ckpt
+
+let units_name = function R_dependencies -> "rollback dependencies" | Cm_paths -> "CM-paths"
 
 let pp_report ppf r =
-  if r.rdt then Format.fprintf ppf "RDT holds (%d dependencies checked)" r.r_paths_checked
+  if r.rdt then Format.fprintf ppf "RDT holds (%d %s checked)" r.checked (units_name r.units)
   else
-    Format.fprintf ppf "RDT VIOLATED (%d dependencies checked):@,%a" r.r_paths_checked
+    Format.fprintf ppf "RDT VIOLATED (%d %s checked):@,%a" r.checked (units_name r.units)
       (Format.pp_print_list pp_violation)
       r.violations
 
@@ -47,29 +56,42 @@ let check_with ~trackable pat =
             incr count;
             if !count <= max_reported then
               violations :=
-                { from_ckpt = (i, x_star); to_ckpt = (j, y); tracked = -1 } :: !violations
+                (* no TDV witness at this level: the trackability oracle
+                   is abstract; [check] fills the entry in afterwards *)
+                { from_ckpt = (i, x_star); to_ckpt = (j, y); tracked = None } :: !violations
           end
         end
       done
     done
   done;
-  { rdt = !count = 0; violations = List.rev !violations; r_paths_checked = !checked }
+  { rdt = !count = 0; violations = List.rev !violations; checked = !checked;
+    units = R_dependencies }
+
+let meter name checked f =
+  Rdt_obs.Meter.time Rdt_obs.Meter.default name (fun () ->
+      let r = f () in
+      Rdt_obs.Meter.add Rdt_obs.Meter.default checked r.checked;
+      r)
 
 let check ?tdv pat =
+  meter "checker.rgraph_tdv" "checker.dependencies" @@ fun () ->
   let tdv = match tdv with Some t -> t | None -> Tdv.compute pat in
   let report = check_with ~trackable:(fun a b -> Tdv.trackable tdv a b) pat in
   let violations =
     List.map
       (fun v ->
         let i, _ = v.from_ckpt in
-        { v with tracked = (Tdv.at tdv v.to_ckpt).(i) })
+        { v with tracked = Some (Tdv.at tdv v.to_ckpt).(i) })
       report.violations
   in
   { report with violations }
 
-let check_chains pat = check_with ~trackable:(fun a b -> Chains.trackable pat a b) pat
+let check_chains pat =
+  meter "checker.chains" "checker.dependencies" @@ fun () ->
+  check_with ~trackable:(fun a b -> Chains.trackable pat a b) pat
 
 let check_doubling pat =
+  meter "checker.doubling" "checker.cm_paths" @@ fun () ->
   let tdv = Tdv.compute pat in
   let cm = Chains.cm_paths pat in
   let undoubled = Chains.undoubled_cm_paths pat tdv in
@@ -79,10 +101,10 @@ let check_doubling pat =
       (List.map
          (fun (p : Chains.cm_path) ->
            let i, _ = p.origin in
-           { from_ckpt = p.origin; to_ckpt = p.target; tracked = (Tdv.at tdv p.target).(i) })
+           { from_ckpt = p.origin; to_ckpt = p.target; tracked = Some (Tdv.at tdv p.target).(i) })
          undoubled)
   in
-  { rdt = undoubled = []; violations; r_paths_checked = List.length cm }
+  { rdt = undoubled = []; violations; checked = List.length cm; units = Cm_paths }
 
 let strict_gaps pat =
   let n = Pattern.n pat in

@@ -18,13 +18,25 @@
 type violation = {
   from_ckpt : Rdt_pattern.Types.ckpt_id;
   to_ckpt : Rdt_pattern.Types.ckpt_id;
-  tracked : int;  (** the TDV entry that should have been [>= x] *)
+  tracked : int option;
+      (** the TDV entry that should have been [>= x], when the checker
+          computed one; [None] for the chain-search checker, which decides
+          trackability without a TDV (printed as "no TDV witness", never as
+          a fabricated entry) *)
 }
+
+(** What {!report.checked} counts: {!check} and {!check_chains} count
+    rollback dependencies (one per checkpoint pair [(C_{j,y}, P_i)] with a
+    real R-path); {!check_doubling} enumerates causal-message paths, a
+    different population.  The unit is carried in the report so the counts
+    are never cross-compared or printed as if commensurable. *)
+type units = R_dependencies | Cm_paths
 
 type report = {
   rdt : bool;
   violations : violation list;  (** capped at {!max_reported} *)
-  r_paths_checked : int;
+  checked : int;
+  units : units;
 }
 
 val max_reported : int
@@ -38,7 +50,7 @@ val check_chains : Rdt_pattern.Pattern.t -> report
 
 val check_doubling : Rdt_pattern.Pattern.t -> report
 (** Verification through the CM-path doubling characterization;
-    [r_paths_checked] counts CM-paths instead of R-paths. *)
+    [checked] counts CM-paths ([units = Cm_paths]). *)
 
 val strict_gaps : Rdt_pattern.Pattern.t -> int
 (** A probe into a definitional subtlety.  Definition 3.3 read literally

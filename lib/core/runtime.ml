@@ -6,6 +6,8 @@ module Transport = Rdt_dist.Transport
 module Event_queue = Rdt_dist.Event_queue
 module Pattern = Rdt_pattern.Pattern
 module Ptypes = Rdt_pattern.Types
+module Trace = Rdt_obs.Trace
+module Meter = Rdt_obs.Meter
 
 type config = {
   n : int;
@@ -18,6 +20,7 @@ type config = {
   max_time : int;
   faults : Faults.spec;
   transport : Transport.params option;
+  trace : Trace.t;
 }
 
 let default_config env protocol =
@@ -32,6 +35,7 @@ let default_config env protocol =
     max_time = max_int / 2;
     faults = Faults.none;
     transport = None;
+    trace = Trace.null;
   }
 
 type result = {
@@ -80,6 +84,7 @@ let validate_config cfg =
 let run_reliable cfg =
   let (module P : Protocol.S) = cfg.protocol in
   let (module E : Env.S) = cfg.env in
+  let tr = cfg.trace in
   let rng = Rng.create cfg.seed in
   let env_rng = Rng.split rng in
   let env = E.create ~n:cfg.n ~rng:env_rng in
@@ -91,19 +96,27 @@ let run_reliable cfg =
   and basic_skipped = ref 0
   and forced = ref 0
   and sent = ref 0
+  and delivered = ref 0
   and internal_events = ref 0
   and now = ref 0 in
   let pred_counts : (string, int ref) Hashtbl.t = Hashtbl.create 7 in
   let violations : (string * string, unit) Hashtbl.t = Hashtbl.create 7 in
-  let take_checkpoint pid kind =
+  let take_checkpoint ?(preds = []) pid kind =
     let snapshot = P.tdv states.(pid) in
-    ignore (Pattern.Builder.checkpoint ~kind ?tdv:snapshot ~time:!now builder pid);
+    let index = Pattern.Builder.checkpoint ~kind ?tdv:snapshot ~time:!now builder pid in
+    if Trace.on tr then
+      Trace.emit tr (Ckpt { pid; index; kind; time = !now; tdv = snapshot; preds });
     P.on_checkpoint states.(pid);
     interval_events.(pid) <- 0
   in
   (* Initial checkpoints: the builder records them automatically at
      creation; mirror them in the protocol states. *)
   Array.iter P.on_checkpoint states;
+  if Trace.on tr then
+    for pid = 0 to cfg.n - 1 do
+      Trace.emit tr
+        (Ckpt { pid; index = 0; kind = Ptypes.Initial; time = 0; tdv = None; preds = [] })
+    done;
   let basic_enabled = cfg.basic_period <> (0, 0) in
   let draw_basic_delay () =
     let lo, hi = cfg.basic_period in
@@ -114,12 +127,13 @@ let run_reliable cfg =
       incr sent;
       let payload = P.make_payload states.(src) ~dst in
       let handle = Pattern.Builder.send builder ~src ~dst in
+      if Trace.on tr then Trace.emit tr (Send { msg = handle; src; dst; time = !now });
       interval_events.(src) <- interval_events.(src) + 1;
       let delay = Channel.sample rng cfg.channel in
       Event_queue.schedule queue ~time:(!now + delay) (Arrival { dst; src; handle; payload });
       if P.force_after_send then begin
         incr forced;
-        take_checkpoint src Ptypes.Forced
+        take_checkpoint ~preds:[ "after-send" ] src Ptypes.Forced
       end
     end
   in
@@ -127,6 +141,7 @@ let run_reliable cfg =
     | Env.Send dst -> send_message ~src:pid ~dst
     | Env.Internal ->
         Pattern.Builder.internal builder pid;
+        if Trace.on tr then Trace.emit tr (Internal { pid; time = !now });
         interval_events.(pid) <- interval_events.(pid) + 1;
         incr internal_events
     | Env.Checkpoint ->
@@ -141,10 +156,12 @@ let run_reliable cfg =
     Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (Tick pid);
     if basic_enabled then Event_queue.schedule queue ~time:(draw_basic_delay ()) (Basic pid)
   done;
+  (* Returns the names of the predicates that fired, so a forced
+     checkpoint triggered by this arrival can be traced to its cause. *)
   let record_predicates ~dst ~src payload =
     let named = P.predicates states.(dst) ~src payload in
     match named with
-    | [] -> ()
+    | [] -> []
     | _ ->
         List.iter
           (fun (name, v) ->
@@ -158,8 +175,10 @@ let run_reliable cfg =
             match (List.assoc_opt weaker named, List.assoc_opt stronger named) with
             | Some true, Some false -> Hashtbl.replace violations (weaker, stronger) ()
             | _ -> ())
-          expected_implications
+          expected_implications;
+        List.filter_map (fun (name, v) -> if v then Some name else None) named
   in
+  let sim_t0 = Unix.gettimeofday () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -176,23 +195,38 @@ let run_reliable cfg =
               | None -> ()
             end
         | Basic pid ->
-            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+            (* keep checkpointing while the computation still executes
+               events: after the send budget is hit, in-flight arrivals
+               keep extending intervals, and those intervals deserve the
+               same basic-checkpoint coverage (once the channels drain,
+               [sent = delivered] and the clock stops rescheduling) *)
+            if t <= cfg.max_time && (!sent < cfg.max_messages || !delivered < !sent) then begin
               do_action pid Env.Checkpoint;
               Event_queue.schedule queue ~time:(t + draw_basic_delay ()) (Basic pid)
             end
         | Arrival { dst; src; handle; payload } ->
-            record_predicates ~dst ~src payload;
+            let fired = record_predicates ~dst ~src payload in
             if P.must_force states.(dst) ~src payload then begin
               incr forced;
-              take_checkpoint dst Ptypes.Forced
+              take_checkpoint ~preds:fired dst Ptypes.Forced
             end;
             P.absorb states.(dst) ~src payload;
             Pattern.Builder.recv builder handle;
+            incr delivered;
+            if Trace.on tr then Trace.emit tr (Deliver { msg = handle; src; dst; time = !now });
             interval_events.(dst) <- interval_events.(dst) + 1;
             let reactions = E.on_deliver env ~pid:dst ~src in
             List.iter (do_action dst) reactions)
   done;
-  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  Meter.add_span Meter.default "runtime.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add Meter.default "runtime.runs" 1;
+  Meter.add Meter.default "runtime.messages" !sent;
+  Meter.add Meter.default "runtime.forced_ckpts" !forced;
+  Meter.add Meter.default "runtime.basic_ckpts" !basic;
+  let pattern =
+    Meter.time Meter.default "runtime.pattern" (fun () ->
+        Pattern.Builder.finish ~final_checkpoints:true builder)
+  in
   let metrics =
     {
       Metrics.n = cfg.n;
@@ -212,7 +246,11 @@ let run_reliable cfg =
     Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  let hierarchy_violations = Hashtbl.fold (fun k () acc -> k :: acc) violations [] in
+  (* sort: [Hashtbl.fold] order is unspecified and varies across OCaml
+     versions, and this list reaches reports and JSON output *)
+  let hierarchy_violations =
+    Hashtbl.fold (fun k () acc -> k :: acc) violations [] |> List.sort compare
+  in
   { pattern; metrics; predicate_counts; hierarchy_violations; transport = None }
 
 (* ------------------------------------------------------------------ *)
@@ -239,13 +277,23 @@ type fev =
 let run_faulty cfg params =
   let (module P : Protocol.S) = cfg.protocol in
   let (module E : Env.S) = cfg.env in
+  let tr = cfg.trace in
   let rng = Rng.create cfg.seed in
   let env_rng = Rng.split rng in
   let net_rng = Rng.split rng in
   let env = E.create ~n:cfg.n ~rng:env_rng in
   let states = Array.init cfg.n (fun pid -> P.create ~n:cfg.n ~pid) in
+  let notify (notice : Transport.notice) =
+    if Trace.on tr then
+      Trace.emit tr
+        (match notice with
+        | Transport.N_drop { src; dst; time } -> Drop { src; dst; time }
+        | Transport.N_retransmit { src; dst; seq; attempt; time } ->
+            Retransmit { src; dst; seq; attempt; time })
+  in
   let tp : int Transport.t =
-    Transport.create ~n:cfg.n ~params ~faults:cfg.faults ~channel:cfg.channel ~rng:net_rng
+    Transport.create ~notify ~n:cfg.n ~params ~faults:cfg.faults ~channel:cfg.channel ~rng:net_rng
+      ()
   in
   let queue : fqueued Event_queue.t = Event_queue.create () in
   let trace : fev list ref = ref [] (* reversed; processing order = global order *) in
@@ -260,23 +308,38 @@ let run_faulty cfg params =
   and now = ref 0 in
   let pred_counts : (string, int ref) Hashtbl.t = Hashtbl.create 7 in
   let violations : (string * string, unit) Hashtbl.t = Hashtbl.create 7 in
-  let take_checkpoint pid kind =
-    trace := F_ckpt { pid; kind; time = !now; tdv = P.tdv states.(pid) } :: !trace;
+  (* checkpoint indices are assigned at replay time; track them here so
+     trace events carry the index the pattern will use *)
+  let ckpt_index = Array.make cfg.n 0 in
+  let take_checkpoint ?(preds = []) pid kind =
+    let tdv = P.tdv states.(pid) in
+    trace := F_ckpt { pid; kind; time = !now; tdv } :: !trace;
+    if Trace.on tr then begin
+      ckpt_index.(pid) <- ckpt_index.(pid) + 1;
+      Trace.emit tr (Ckpt { pid; index = ckpt_index.(pid); kind; time = !now; tdv; preds })
+    end;
     P.on_checkpoint states.(pid);
     interval_events.(pid) <- 0
   in
   (* Initial checkpoints: the builder records them automatically at replay
      time; mirror them in the protocol states. *)
   Array.iter P.on_checkpoint states;
+  if Trace.on tr then
+    for pid = 0 to cfg.n - 1 do
+      Trace.emit tr
+        (Ckpt { pid; index = 0; kind = Ptypes.Initial; time = 0; tdv = None; preds = [] })
+    done;
   let basic_enabled = cfg.basic_period <> (0, 0) in
   let draw_basic_delay () =
     let lo, hi = cfg.basic_period in
     Rng.int_in rng lo hi
   in
+  (* Returns the names of the predicates that fired, so a forced
+     checkpoint triggered by this arrival can be traced to its cause. *)
   let record_predicates ~dst ~src payload =
     let named = P.predicates states.(dst) ~src payload in
     match named with
-    | [] -> ()
+    | [] -> []
     | _ ->
         List.iter
           (fun (name, v) ->
@@ -290,7 +353,8 @@ let run_faulty cfg params =
             match (List.assoc_opt weaker named, List.assoc_opt stronger named) with
             | Some true, Some false -> Hashtbl.replace violations (weaker, stronger) ()
             | _ -> ())
-          expected_implications
+          expected_implications;
+        List.filter_map (fun (name, v) -> if v then Some name else None) named
   in
   (* [Deliver] effects recurse into application reactions (a delivery may
      trigger sends, which produce further effects), hence the mutual
@@ -299,16 +363,19 @@ let run_faulty cfg params =
     List.iter
       (function
         | Transport.Wire { at; wire } -> Event_queue.schedule queue ~time:at (FNet wire)
-        | Transport.Undeliverable { msg = id; _ } -> Hashtbl.replace undeliverable id ()
+        | Transport.Undeliverable { msg = id; src; dst } ->
+            Hashtbl.replace undeliverable id ();
+            if Trace.on tr then Trace.emit tr (Undeliverable { msg = id; src; dst; time = !now })
         | Transport.Deliver { src; dst; msg = id } ->
             let _, _, payload = Hashtbl.find msg_meta id in
-            record_predicates ~dst ~src payload;
+            let fired = record_predicates ~dst ~src payload in
             if P.must_force states.(dst) ~src payload then begin
               incr forced;
-              take_checkpoint dst Ptypes.Forced
+              take_checkpoint ~preds:fired dst Ptypes.Forced
             end;
             P.absorb states.(dst) ~src payload;
             trace := F_recv id :: !trace;
+            if Trace.on tr then Trace.emit tr (Deliver { msg = id; src; dst; time = !now });
             interval_events.(dst) <- interval_events.(dst) + 1;
             List.iter (do_action dst) (E.on_deliver env ~pid:dst ~src))
       effects
@@ -319,13 +386,14 @@ let run_faulty cfg params =
       let payload = P.make_payload states.(src) ~dst in
       Hashtbl.replace msg_meta id (src, dst, payload);
       trace := F_send id :: !trace;
+      if Trace.on tr then Trace.emit tr (Send { msg = id; src; dst; time = !now });
       interval_events.(src) <- interval_events.(src) + 1;
       let effects = Transport.send tp ~now:!now ~src ~dst id in
       (* a checkpoint-after-send checkpoint belongs between the send and
          any later event of [src], so take it before processing effects *)
       if P.force_after_send then begin
         incr forced;
-        take_checkpoint src Ptypes.Forced
+        take_checkpoint ~preds:[ "after-send" ] src Ptypes.Forced
       end;
       process_effects effects
     end
@@ -333,6 +401,7 @@ let run_faulty cfg params =
     | Env.Send dst -> send_message ~src:pid ~dst
     | Env.Internal ->
         trace := F_internal pid :: !trace;
+        if Trace.on tr then Trace.emit tr (Internal { pid; time = !now });
         interval_events.(pid) <- interval_events.(pid) + 1;
         incr internal_events
     | Env.Checkpoint ->
@@ -346,6 +415,7 @@ let run_faulty cfg params =
     Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (FTick pid);
     if basic_enabled then Event_queue.schedule queue ~time:(draw_basic_delay ()) (FBasic pid)
   done;
+  let sim_t0 = Unix.gettimeofday () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -362,29 +432,42 @@ let run_faulty cfg params =
               | None -> ()
             end
         | FBasic pid ->
-            if t <= cfg.max_time && !sent < cfg.max_messages then begin
+            (* same semantics as the reliable path: basic checkpointing
+               continues while the transport still has messages in flight
+               (arrivals keep executing events after the send budget is
+               hit), and stops once the channels drain *)
+            if t <= cfg.max_time && (!sent < cfg.max_messages || Transport.in_flight tp > 0)
+            then begin
               do_action pid Env.Checkpoint;
               Event_queue.schedule queue ~time:(t + draw_basic_delay ()) (FBasic pid)
             end
         | FNet wire -> process_effects (Transport.handle tp ~now:!now wire))
   done;
+  Meter.add_span Meter.default "runtime.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add Meter.default "runtime.runs" 1;
+  Meter.add Meter.default "runtime.messages" !sent;
+  Meter.add Meter.default "runtime.forced_ckpts" !forced;
+  Meter.add Meter.default "runtime.basic_ckpts" !basic;
   (* the queue drained, so every message is settled: delivered or abandoned *)
   assert (Transport.in_flight tp = 0);
-  let builder = Pattern.Builder.create ~n:cfg.n in
-  let handles = Hashtbl.create 256 in
-  List.iter
-    (function
-      | F_send id ->
-          if not (Hashtbl.mem undeliverable id) then begin
-            let src, dst, _ = Hashtbl.find msg_meta id in
-            Hashtbl.replace handles id (Pattern.Builder.send builder ~src ~dst)
-          end
-      | F_recv id -> Pattern.Builder.recv builder (Hashtbl.find handles id)
-      | F_internal pid -> Pattern.Builder.internal builder pid
-      | F_ckpt { pid; kind; time; tdv } ->
-          ignore (Pattern.Builder.checkpoint ~kind ?tdv ~time builder pid))
-    (List.rev !trace);
-  let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  let pattern =
+    Meter.time Meter.default "runtime.pattern" (fun () ->
+        let builder = Pattern.Builder.create ~n:cfg.n in
+        let handles = Hashtbl.create 256 in
+        List.iter
+          (function
+            | F_send id ->
+                if not (Hashtbl.mem undeliverable id) then begin
+                  let src, dst, _ = Hashtbl.find msg_meta id in
+                  Hashtbl.replace handles id (Pattern.Builder.send builder ~src ~dst)
+                end
+            | F_recv id -> Pattern.Builder.recv builder (Hashtbl.find handles id)
+            | F_internal pid -> Pattern.Builder.internal builder pid
+            | F_ckpt { pid; kind; time; tdv } ->
+                ignore (Pattern.Builder.checkpoint ~kind ?tdv ~time builder pid))
+          (List.rev !trace);
+        Pattern.Builder.finish ~final_checkpoints:true builder)
+  in
   let metrics =
     {
       Metrics.n = cfg.n;
@@ -406,7 +489,11 @@ let run_faulty cfg params =
     Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  let hierarchy_violations = Hashtbl.fold (fun k () acc -> k :: acc) violations [] in
+  (* sort: [Hashtbl.fold] order is unspecified and varies across OCaml
+     versions, and this list reaches reports and JSON output *)
+  let hierarchy_violations =
+    Hashtbl.fold (fun k () acc -> k :: acc) violations [] |> List.sort compare
+  in
   {
     pattern;
     metrics;

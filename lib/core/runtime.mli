@@ -39,12 +39,18 @@ type config = {
       (** [None] (the default) runs the paper's reliable channels exactly
           as before; [Some params] routes every message through the
           reliable-delivery transport over the faulty network *)
+  trace : Rdt_obs.Trace.t;
+      (** structured event trace recorder ({!Rdt_obs.Trace.null} by
+          default: every instrumentation site reduces to one branch).
+          Records sends, deliveries, checkpoints (with the predicates that
+          fired for forced ones), and — on the transport path — drops,
+          retransmissions and undeliverable messages *)
 }
 
 val default_config : Rdt_dist.Env.t -> Protocol.t -> config
 (** 8 processes, seed 1, uniform channel delays in [\[5; 100\]], basic
-    period in [\[300; 700\]], 2000 messages, no faults, no transport.
-    Fields are meant to be overridden with
+    period in [\[300; 700\]], 2000 messages, no faults, no transport, no
+    tracing.  Fields are meant to be overridden with
     [{ (default_config e p) with ... }]. *)
 
 type result = {

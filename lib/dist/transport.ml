@@ -19,6 +19,10 @@ type 'a emit =
   | Wire of { at : int; wire : wire }
   | Undeliverable of { src : int; dst : int; msg : 'a }
 
+type notice =
+  | N_drop of { src : int; dst : int; time : int }
+  | N_retransmit of { src : int; dst : int; seq : int; attempt : int; time : int }
+
 type 'a entry = { payload : 'a; mutable retx : int }
 
 type 'a link = {
@@ -51,6 +55,7 @@ type 'a t = {
   faults : Faults.spec;
   channel : Channel.spec;
   rng : Rng.t;
+  notify : notice -> unit;
   links : 'a link array; (* src * n + dst *)
   mutable accepted : int;
   mutable delivered : int;
@@ -64,7 +69,7 @@ type 'a t = {
   mutable reordered : int;
 }
 
-let create ~n ~params ~faults ~channel ~rng =
+let create ?(notify = fun (_ : notice) -> ()) ~n ~params ~faults ~channel ~rng () =
   (match validate_params params with
   | Ok () -> ()
   | Error e -> invalid_arg ("Transport.create: " ^ e));
@@ -75,6 +80,7 @@ let create ~n ~params ~faults ~channel ~rng =
     faults;
     channel;
     rng;
+    notify;
     links =
       Array.init (n * n) (fun _ ->
           {
@@ -115,8 +121,10 @@ let jitter t = if t.params.jitter = 0 then 0 else Rng.int t.rng (t.params.jitter
    by the channel distribution, and possibly held back by an adversarial
    reordering delay.  Surviving copies are appended to [acc] (reversed). *)
 let through_network t ~now ~src ~dst wire acc =
-  if Faults.cuts t.faults ~time:now ~src ~dst then
-    t.packets_dropped <- t.packets_dropped + 1
+  if Faults.cuts t.faults ~time:now ~src ~dst then begin
+    t.packets_dropped <- t.packets_dropped + 1;
+    t.notify (N_drop { src; dst; time = now })
+  end
   else begin
     let copies =
       if t.faults.Faults.dup > 0.0 && Rng.bernoulli t.rng t.faults.Faults.dup then begin
@@ -126,8 +134,10 @@ let through_network t ~now ~src ~dst wire acc =
       else 1
     in
     for _ = 1 to copies do
-      if t.faults.Faults.drop > 0.0 && Rng.bernoulli t.rng t.faults.Faults.drop then
-        t.packets_dropped <- t.packets_dropped + 1
+      if t.faults.Faults.drop > 0.0 && Rng.bernoulli t.rng t.faults.Faults.drop then begin
+        t.packets_dropped <- t.packets_dropped + 1;
+        t.notify (N_drop { src; dst; time = now })
+      end
       else begin
         let delay = Channel.sample t.rng t.channel in
         let extra =
@@ -245,6 +255,7 @@ let handle t ~now wire =
             e.retx <- e.retx + 1;
             t.retransmissions <- t.retransmissions + 1;
             t.data_packets <- t.data_packets + 1;
+            t.notify (N_retransmit { src; dst; seq; attempt = e.retx; time = now });
             let acc = ref [] in
             through_network t ~now ~src ~dst (Data { src; dst; seq }) acc;
             acc :=

@@ -69,12 +69,30 @@ type 'a emit =
   | Undeliverable of { src : int; dst : int; msg : 'a }
       (** abandoned after [max_retx] retransmissions *)
 
+(** Observability callbacks: transport-internal incidents that do not
+    surface as {!emit} effects but that a tracing layer wants to see.
+    [time] is the simulated clock of the incident. *)
+type notice =
+  | N_drop of { src : int; dst : int; time : int }
+      (** one packet copy lost to drop sampling or a partition *)
+  | N_retransmit of { src : int; dst : int; seq : int; attempt : int; time : int }
+      (** retransmission number [attempt] (1-based) of [seq] *)
+
 type 'a t
 
 val create :
-  n:int -> params:params -> faults:Faults.spec -> channel:Channel.spec -> rng:Rng.t -> 'a t
+  ?notify:(notice -> unit) ->
+  n:int ->
+  params:params ->
+  faults:Faults.spec ->
+  channel:Channel.spec ->
+  rng:Rng.t ->
+  unit ->
+  'a t
 (** The transport owns [rng] from here on (dedicate a {!Rng.split} stream
-    to it).  @raise Invalid_argument on invalid [params]. *)
+    to it).  [notify] (default: ignore) is called synchronously as incidents
+    happen; it must not call back into the transport.
+    @raise Invalid_argument on invalid [params]. *)
 
 val send : 'a t -> now:int -> src:int -> dst:int -> 'a -> 'a emit list
 (** Entrust a message to the transport.

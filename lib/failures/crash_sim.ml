@@ -7,6 +7,8 @@ module Transport = Rdt_dist.Transport
 module Pattern = Rdt_pattern.Pattern
 module Ptypes = Rdt_pattern.Types
 module Protocol = Rdt_core.Protocol
+module Trace = Rdt_obs.Trace
+module Meter = Rdt_obs.Meter
 
 type crash = { victim : int; at : int; repair_delay : int }
 
@@ -22,6 +24,7 @@ type config = {
   crashes : crash list;
   faults : Faults.spec;
   transport : Transport.params option;
+  trace : Trace.t;
 }
 
 let default_config env protocol =
@@ -37,6 +40,7 @@ let default_config env protocol =
     crashes = [];
     faults = Faults.none;
     transport = None;
+    trace = Trace.null;
   }
 
 type recovery = {
@@ -147,6 +151,7 @@ let run cfg =
   validate cfg;
   let (module P : Protocol.S) = cfg.protocol in
   let (module E : Env.S) = cfg.env in
+  let tr = cfg.trace in
   let rng = Rng.create cfg.seed in
   let env = E.create ~n:cfg.n ~rng:(Rng.split rng) in
   let networked = cfg.transport <> None in
@@ -181,7 +186,7 @@ let run cfg =
     Rng.int_in rng lo hi
   in
   let push_trace pid ev = traces.(pid) <- (next_stamp (), ev) :: traces.(pid) in
-  let take_checkpoint pid kind =
+  let take_checkpoint ?(preds = []) pid kind =
     let index = ckpt_count.(pid) in
     let tdv = P.tdv states.(pid) in
     P.on_checkpoint states.(pid);
@@ -196,6 +201,7 @@ let run cfg =
       }
     in
     push_trace pid (B_ckpt meta);
+    if Trace.on tr then Trace.emit tr (Ckpt { pid; index; kind; time = !now; tdv; preds });
     ckpt_count.(pid) <- index + 1;
     interval_events.(pid) <- 0
   in
@@ -218,15 +224,19 @@ let run cfg =
   let jitter () =
     if tparams.Transport.jitter > 0 then Rng.int_in net_rng 0 tparams.Transport.jitter else 0
   in
+  let drop ~src ~dst =
+    incr packets_dropped;
+    if Trace.on tr then Trace.emit tr (Drop { src; dst; time = !now })
+  in
   let through ~src ~dst mk =
     (* one attempt through the faulty network: a partition cut loses the
        whole attempt; otherwise each (possibly duplicated) copy is
        independently dropped and delayed *)
-    if Faults.cuts cfg.faults ~time:!now ~src ~dst then incr packets_dropped
+    if Faults.cuts cfg.faults ~time:!now ~src ~dst then drop ~src ~dst
     else
       let copies = if Rng.bernoulli net_rng cfg.faults.Faults.dup then 2 else 1 in
       for _ = 1 to copies do
-        if Rng.bernoulli net_rng cfg.faults.Faults.drop then incr packets_dropped
+        if Rng.bernoulli net_rng cfg.faults.Faults.drop then drop ~src ~dst
         else begin
           let d = Channel.sample net_rng cfg.channel in
           let d =
@@ -245,7 +255,13 @@ let run cfg =
   let transmit id =
     let m = msg id in
     m.m_attempts <- m.m_attempts + 1;
-    if m.m_attempts > 1 then incr retransmissions;
+    if m.m_attempts > 1 then begin
+      incr retransmissions;
+      if Trace.on tr then
+        Trace.emit tr
+          (Retransmit
+             { src = m.m_src; dst = m.m_dst; seq = id; attempt = m.m_attempts - 1; time = !now })
+    end;
     through ~src:m.m_src ~dst:m.m_dst (fun () -> Packet id);
     Event_queue.schedule queue ~time:(!now + rto (m.m_attempts - 1) + jitter ()) (Retx (id, m.m_gen))
   in
@@ -290,12 +306,13 @@ let run cfg =
           };
       n_msgs := id + 1;
       push_trace src (B_send id);
+      if Trace.on tr then Trace.emit tr (Send { msg = id; src; dst; time = !now });
       interval_events.(src) <- interval_events.(src) + 1;
       if networked then net_start id
       else Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id);
       if P.force_after_send then begin
         incr forced;
-        take_checkpoint src Ptypes.Forced
+        take_checkpoint ~preds:[ "after-send" ] src Ptypes.Forced
       end
     end
   in
@@ -304,6 +321,7 @@ let run cfg =
     | Env.Internal ->
         if not crashed.(pid) then begin
           push_trace pid B_internal;
+          if Trace.on tr then Trace.emit tr (Internal { pid; time = !now });
           interval_events.(pid) <- interval_events.(pid) + 1
         end
     | Env.Checkpoint ->
@@ -318,12 +336,22 @@ let run cfg =
     let dst = m.m_dst in
     if P.must_force states.(dst) ~src:m.m_src m.m_payload then begin
       incr forced;
-      take_checkpoint dst Ptypes.Forced
+      let preds =
+        (* name the predicates that fired, for the trace only (the
+           evaluation is pure, and skipped when tracing is off) *)
+        if Trace.on tr then
+          List.filter_map
+            (fun (name, v) -> if v then Some name else None)
+            (P.predicates states.(dst) ~src:m.m_src m.m_payload)
+        else []
+      in
+      take_checkpoint ~preds dst Ptypes.Forced
     end;
     P.absorb states.(dst) ~src:m.m_src m.m_payload;
     m.m_status <- Delivered;
     m.m_recv_interval <- ckpt_count.(dst);
     push_trace dst (B_recv id);
+    if Trace.on tr then Trace.emit tr (Deliver { msg = id; src = m.m_src; dst; time = !now });
     interval_events.(dst) <- interval_events.(dst) + 1;
     List.iter (do_action dst) (E.on_deliver env ~pid:dst ~src:m.m_src)
   in
@@ -382,12 +410,13 @@ let run cfg =
     (!undone_sends, !undone_recvs)
   in
   let recover (c : crash) =
+    let recover_t0 = Unix.gettimeofday () in
     let pid = c.victim in
     (* live processes secure their volatile state first *)
     for q = 0 to cfg.n - 1 do
       if (not crashed.(q)) && q <> pid && interval_events.(q) > 0 then begin
         incr forced;
-        take_checkpoint q Ptypes.Forced
+        take_checkpoint ~preds:[ "recovery" ] q Ptypes.Forced
       end
     done;
     let bounds = Array.init cfg.n (fun q -> last_ckpt_index q) in
@@ -397,7 +426,10 @@ let run cfg =
     let events_undone = ref 0 and ckpts_undone = ref 0 in
     let all_sends = ref [] and all_recvs = ref [] in
     for q = 0 to cfg.n - 1 do
+      let undone_before = !events_undone in
       let s, r = truncate_to q line.(q) (events_undone, ckpts_undone) in
+      if Trace.on tr && !events_undone > undone_before then
+        Trace.emit tr (Rollback { pid = q; to_index = line.(q); time = !now });
       all_sends := s @ !all_sends;
       all_recvs := r @ !all_recvs
     done;
@@ -422,6 +454,8 @@ let run cfg =
           m.m_status <- Replay;
           m.m_recv_interval <- -1;
           incr replayed;
+          if Trace.on tr then
+            Trace.emit tr (Replay { msg = id; src = m.m_src; dst = m.m_dst; time = !now });
           if networked then restart id
           else Event_queue.schedule queue ~time:(!now + Channel.sample rng cfg.channel) (Arrival id)
         end)
@@ -458,7 +492,10 @@ let run cfg =
         messages_undone = List.length !all_sends;
         messages_replayed = !replayed;
       }
-      :: !recoveries
+      :: !recoveries;
+    Meter.add_span Meter.default "crash_sim.recovery" (Unix.gettimeofday () -. recover_t0);
+    Meter.add Meter.default "crash_sim.events_undone" !events_undone;
+    Meter.add Meter.default "crash_sim.messages_replayed" !replayed
   in
   (* ---------------- main loop ---------------- *)
   for pid = 0 to cfg.n - 1 do
@@ -466,6 +503,7 @@ let run cfg =
     if basic_enabled then Event_queue.schedule queue ~time:(draw_basic ()) (Basic (pid, 0))
   done;
   List.iter (fun c -> Event_queue.schedule queue ~time:c.at (Crash c)) cfg.crashes;
+  let sim_t0 = Unix.gettimeofday () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -515,18 +553,25 @@ let run cfg =
             | Dead | Undeliv -> () (* stray copy of an undone/abandoned send *)
             | Delivered -> send_ack id (* redundant copy: just re-ack *)
             | Flight | Replay ->
-                if crashed.(m.m_dst) then incr packets_dropped
+                if crashed.(m.m_dst) then drop ~src:m.m_src ~dst:m.m_dst
                 else begin
                   deliver id;
                   send_ack id
                 end)
         | AckPkt id ->
             let m = msg id in
-            if crashed.(m.m_src) then incr packets_dropped
+            if crashed.(m.m_src) then drop ~src:m.m_dst ~dst:m.m_src
             else (
               match m.m_status with
-              | Dead | Undeliv -> ()
-              | Flight | Delivered | Replay -> m.m_acked <- true)
+              | Delivered -> m.m_acked <- true
+              | Flight | Replay ->
+                  (* stale ack: the delivery it acknowledges was rolled
+                     back (a genuine ack is always sent from [Delivered]
+                     state, which only a rollback can leave).  Accepting
+                     it would silence the retransmission loop re-armed at
+                     recovery and strand the message undelivered. *)
+                  ()
+              | Dead | Undeliv -> ())
         | Retx (id, gen) -> (
             let m = msg id in
             if gen = m.m_gen && (not m.m_acked) && not crashed.(m.m_src) then
@@ -537,10 +582,17 @@ let run cfg =
               | Flight | Replay when m.m_attempts > tparams.Transport.max_retx ->
                   (* typed graceful degradation: give up, keep the run finite *)
                   m.m_status <- Undeliv;
-                  incr undeliverable
+                  incr undeliverable;
+                  if Trace.on tr then
+                    Trace.emit tr
+                      (Undeliverable { msg = id; src = m.m_src; dst = m.m_dst; time = !now })
               | Flight | Replay | Delivered -> transmit id))
   done;
+  Meter.add_span Meter.default "crash_sim.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add Meter.default "crash_sim.runs" 1;
+  Meter.add Meter.default "crash_sim.recoveries" (List.length !recoveries);
   (* ---------------- final pattern ---------------- *)
+  let pattern_t0 = Unix.gettimeofday () in
   let builder = Pattern.Builder.create ~n:cfg.n in
   let all = ref [] in
   for pid = 0 to cfg.n - 1 do
@@ -568,6 +620,7 @@ let run cfg =
               (Pattern.Builder.checkpoint ~kind:c.c_kind ?tdv:c.c_tdv ~time:c.c_time builder pid))
     ordered;
   let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
+  Meter.add_span Meter.default "crash_sim.pattern" (Unix.gettimeofday () -. pattern_t0);
   let recoveries = List.rev !recoveries in
   {
     pattern;

@@ -64,6 +64,12 @@ type config = {
           [max_retx] retries is abandoned — it appears in neither the
           surviving pattern nor the delivered count, and is tallied in
           [metrics.undeliverable]. *)
+  trace : Rdt_obs.Trace.t;
+      (** structured event trace ({!Rdt_obs.Trace.null} by default).  On
+          top of the {!Rdt_core.Runtime} events it records rollbacks
+          (one per process actually truncated at a recovery) and message
+          replays, so {!Rdt_obs.Replay.rebuild} reproduces the surviving
+          pattern. *)
 }
 
 val default_config : Rdt_dist.Env.t -> Rdt_core.Protocol.t -> config

@@ -5,9 +5,11 @@ type t = {
   mutable cells : cell list; (* reversed *)
   mutable wall : float;
   mutable micro : (string * float) list; (* reversed; benchmark name, ns/run *)
+  mutable phases : (string * int * float) list; (* span name, calls, seconds; sorted *)
+  mutable counters : (string * int) list; (* sorted *)
 }
 
-let create ~jobs = { jobs; cells = []; wall = 0.0; micro = [] }
+let create ~jobs = { jobs; cells = []; wall = 0.0; micro = []; phases = []; counters = [] }
 
 let add t ~table ~protocol ~env ~seed ~seconds =
   t.cells <- { table; protocol; env; seed; seconds } :: t.cells
@@ -17,6 +19,17 @@ let add_micro t ~name ~ns = t.micro <- (name, ns) :: t.micro
 let set_wall t wall = t.wall <- wall
 
 let wall t = t.wall
+
+let record_obs ?(meter = Rdt_obs.Meter.default) t =
+  t.phases <-
+    List.map
+      (fun (name, s) -> (name, s.Rdt_obs.Meter.calls, s.Rdt_obs.Meter.seconds))
+      (Rdt_obs.Meter.spans meter);
+  t.counters <- Rdt_obs.Meter.counters meter
+
+let phases t = t.phases
+
+let counters t = t.counters
 
 let cells t = List.rev t.cells
 
@@ -94,6 +107,13 @@ let to_json t =
   Buffer.add_string buf ",\n";
   obj_list "micro" (micro t) (fun (name, ns) ->
       Printf.sprintf "{\"benchmark\": \"%s\", \"ns_per_run\": %s}" (escape name) (json_float ns));
+  Buffer.add_string buf ",\n";
+  obj_list "phases" t.phases (fun (name, calls, secs) ->
+      Printf.sprintf "{\"phase\": \"%s\", \"calls\": %d, \"seconds\": %s}" (escape name) calls
+        (json_float secs));
+  Buffer.add_string buf ",\n";
+  obj_list "counters" t.counters (fun (name, v) ->
+      Printf.sprintf "{\"counter\": \"%s\", \"value\": %d}" (escape name) v);
   Buffer.add_string buf ",\n";
   obj_list "cell_timings" cells (fun c ->
       Printf.sprintf

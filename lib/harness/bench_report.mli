@@ -30,6 +30,18 @@ val set_wall : t -> float -> unit
 
 val wall : t -> float
 
+val record_obs : ?meter:Rdt_obs.Meter.t -> t -> unit
+(** Snapshot the metrics registry ({!Rdt_obs.Meter.default} unless given)
+    into the report: per-phase timer spans ([runtime.sim],
+    [runtime.pattern], [checker.*], [crash_sim.*], ...) and aggregate
+    counters, rendered as the [phases] and [counters] JSON sections.
+    Call once, after the grid finishes. *)
+
+val phases : t -> (string * int * float) list
+(** [(span, calls, seconds)], sorted by span name. *)
+
+val counters : t -> (string * int) list
+
 val cells : t -> cell list
 (** In insertion (grid) order. *)
 

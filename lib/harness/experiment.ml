@@ -47,6 +47,7 @@ let run_once w protocol ~seed =
       max_time = max_int / 2;
       faults = w.faults;
       transport = w.transport;
+      trace = Rdt_obs.Trace.null;
     }
 
 let verify_rdt (r : Runtime.result) = (Rdt_core.Checker.check r.Runtime.pattern).Rdt_core.Checker.rdt

@@ -1,0 +1,194 @@
+module P = Rdt_pattern.Pattern
+module T = Rdt_pattern.Types
+
+let meta events =
+  List.find_map
+    (function
+      | Trace.Meta { n; protocol; env; seed; mode } -> Some (n, protocol, env, seed, mode)
+      | _ -> None)
+    events
+
+let verdicts events =
+  List.filter_map (function Trace.Verdict { checker; rdt } -> Some (checker, rdt) | _ -> None)
+    events
+
+(* A surviving-history entry.  [seq] is the event's position in the trace,
+   used to restore the (causality-consistent) global emission order after
+   the per-process stacks are flattened. *)
+type entry =
+  | E_send of { seq : int; msg : int; time : int }
+  | E_recv of { seq : int; msg : int; time : int }
+  | E_internal of { seq : int; time : int }
+  | E_ckpt of { seq : int; index : int; kind : T.ckpt_kind; tdv : int array option; time : int }
+
+let entry_seq = function
+  | E_send { seq; _ } | E_recv { seq; _ } | E_internal { seq; _ } | E_ckpt { seq; _ } -> seq
+
+let rebuild events =
+  let exception Bad of string in
+  try
+    let n =
+      match meta events with
+      | Some (n, _, _, _, _) -> n
+      | None ->
+          (* infer from the largest pid mentioned *)
+          let m = ref (-1) in
+          List.iter
+            (fun ev ->
+              match ev with
+              | Trace.Send { src; dst; _ }
+              | Deliver { src; dst; _ }
+              | Retransmit { src; dst; _ }
+              | Drop { src; dst; _ }
+              | Undeliverable { src; dst; _ }
+              | Replay { src; dst; _ } ->
+                  m := max !m (max src dst)
+              | Internal { pid; _ } | Ckpt { pid; _ } | Rollback { pid; _ } -> m := max !m pid
+              | Meta _ | Verdict _ -> ())
+            events;
+          if !m < 0 then raise (Bad "empty trace: no events and no meta header");
+          !m + 1
+    in
+    (* per-process stacks of surviving entries, newest first *)
+    let stacks = Array.make n [] in
+    (* message id -> (src, dst); only surviving, deliverable messages keep
+       an entry by the end *)
+    let routes = Hashtbl.create 64 in
+    let undeliv = Hashtbl.create 8 in
+    let check_pid pid what =
+      if pid < 0 || pid >= n then raise (Bad (Printf.sprintf "%s: pid %d out of range" what pid))
+    in
+    List.iteri
+      (fun seq ev ->
+        match ev with
+        | Trace.Meta _ | Verdict _ | Retransmit _ | Drop _ | Replay _ ->
+            (* transport noise and annotations: no pattern effect (a replayed
+               delivery shows up as a fresh Deliver) *)
+            ()
+        | Send { msg; src; dst; time } ->
+            check_pid src "send";
+            check_pid dst "send";
+            Hashtbl.replace routes msg (src, dst);
+            stacks.(src) <- E_send { seq; msg; time } :: stacks.(src)
+        | Deliver { msg; src = _; dst; time } ->
+            check_pid dst "deliver";
+            if not (Hashtbl.mem routes msg) then
+              raise (Bad (Printf.sprintf "deliver of unknown message %d" msg));
+            if Hashtbl.mem undeliv msg then
+              raise (Bad (Printf.sprintf "deliver of undeliverable message %d" msg));
+            stacks.(dst) <- E_recv { seq; msg; time } :: stacks.(dst)
+        | Internal { pid; time } ->
+            check_pid pid "internal";
+            stacks.(pid) <- E_internal { seq; time } :: stacks.(pid)
+        | Ckpt { pid; index; kind; time; tdv; preds = _ } ->
+            check_pid pid "ckpt";
+            stacks.(pid) <- E_ckpt { seq; index; kind; tdv; time } :: stacks.(pid)
+        | Undeliverable { msg; _ } -> Hashtbl.replace undeliv msg ()
+        | Rollback { pid; to_index; time = _ } ->
+            check_pid pid "rollback";
+            (* pop every event after checkpoint [to_index]; the checkpoint
+               itself survives *)
+            let rec pop = function
+              | E_ckpt { index; _ } :: _ as kept when index = to_index -> kept
+              | [] ->
+                  if to_index = 0 then [] (* initial checkpoint: implicit, empty history *)
+                  else
+                    raise
+                      (Bad
+                         (Printf.sprintf "rollback of pid %d to missing checkpoint %d" pid to_index))
+              | _ :: rest -> pop rest
+            in
+            stacks.(pid) <- pop stacks.(pid))
+      events;
+    (* flatten, restore global order, and drive the builder *)
+    let entries =
+      Array.to_list stacks
+      |> List.mapi (fun pid stack -> List.rev_map (fun e -> (pid, e)) stack)
+      |> List.concat
+      |> List.sort (fun (_, a) (_, b) -> compare (entry_seq a) (entry_seq b))
+    in
+    let b = P.Builder.create ~n in
+    let handles = Hashtbl.create 64 in
+    List.iter
+      (fun (pid, entry) ->
+        match entry with
+        | E_send { msg; time; _ } ->
+            if not (Hashtbl.mem undeliv msg) then begin
+              let _, dst =
+                try Hashtbl.find routes msg with Not_found -> assert false
+              in
+              Hashtbl.replace handles msg (P.Builder.send ~time b ~src:pid ~dst)
+            end
+        | E_recv { msg; time; _ } -> (
+            match Hashtbl.find_opt handles msg with
+            | Some h -> P.Builder.recv ~time b h
+            | None -> raise (Bad (Printf.sprintf "surviving delivery of rolled-back send %d" msg)))
+        | E_internal { time; _ } -> P.Builder.internal ~time b pid
+        | E_ckpt { kind = T.Initial; _ } -> () (* taken automatically by the builder *)
+        | E_ckpt { kind; tdv; time; _ } ->
+            ignore (P.Builder.checkpoint ~kind ?tdv ~time b pid))
+      entries;
+    Ok (P.Builder.finish ~final_checkpoints:true b)
+  with
+  | Bad e -> Error e
+  | Invalid_argument e -> Error e
+
+type summary = {
+  n : int;
+  events : int;
+  by_kind : (string * int) list;
+  forced_by_pred : (string * int) list;
+  max_time : int;
+}
+
+let summarize events =
+  let counts = Hashtbl.create 16 in
+  let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let preds_tbl = Hashtbl.create 8 in
+  let max_time = ref 0 in
+  let max_pid = ref (-1) in
+  let meta_n = ref None in
+  List.iter
+    (fun ev ->
+      bump counts (Trace.kind_name ev);
+      (match ev with
+      | Trace.Meta { n; _ } -> meta_n := Some n
+      | Send { src; dst; time; _ }
+      | Deliver { src; dst; time; _ }
+      | Undeliverable { src; dst; time; _ }
+      | Replay { src; dst; time; _ }
+      | Retransmit { src; dst; time; _ }
+      | Drop { src; dst; time } ->
+          max_pid := max !max_pid (max src dst);
+          max_time := max !max_time time
+      | Internal { pid; time }
+      | Ckpt { pid; time; _ }
+      | Rollback { pid; time; _ } ->
+          max_pid := max !max_pid pid;
+          max_time := max !max_time time
+      | Verdict _ -> ());
+      match ev with
+      | Ckpt { kind = T.Forced; preds; _ } ->
+          bump preds_tbl (if preds = [] then "(none)" else String.concat "," preds)
+      | _ -> ())
+    events;
+  {
+    n = (match !meta_n with Some n -> n | None -> !max_pid + 1);
+    events = List.length events;
+    by_kind = List.map (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt counts k))) Trace.kind_names;
+    forced_by_pred =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) preds_tbl [] |> List.sort compare;
+    max_time = !max_time;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "processes:      %d@." s.n;
+  Format.fprintf ppf "events:         %d@." s.events;
+  Format.fprintf ppf "last timestamp: %d@." s.max_time;
+  List.iter
+    (fun (k, c) -> if c > 0 then Format.fprintf ppf "  %-14s %d@." k c)
+    s.by_kind;
+  if s.forced_by_pred <> [] then begin
+    Format.fprintf ppf "forced checkpoints by predicate:@.";
+    List.iter (fun (k, c) -> Format.fprintf ppf "  %-14s %d@." k c) s.forced_by_pred
+  end

@@ -595,9 +595,135 @@ let corollary_iff_checkable =
       let rdt = (Checker.check pat).Checker.rdt in
       (not rdt) || Min_gcp.corollary_holds pat)
 
+(* ------------------------------------------------------------------ *)
+(* Regressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A stub protocol whose predicate values break the expected generality
+   hierarchy in several places at once, so [hierarchy_violations] has
+   more than one entry to order. *)
+let violating_protocol : Protocol.t =
+  (module struct
+    type state = unit
+
+    let name = "violating-stub"
+    let describe = "test stub firing predicates out of hierarchy order"
+    let ensures_rdt = false
+    let ensures_no_useless = false
+    let create ~n:_ ~pid:_ = ()
+    let copy () = ()
+    let on_checkpoint () = ()
+    let make_payload () ~dst:_ = Control.Nothing
+    let force_after_send = false
+    let must_force () ~src:_ _ = false
+    let absorb () ~src:_ _ = ()
+    let tdv () = None
+    let payload_bits ~n:_ = 0
+
+    let predicates () ~src:_ _ =
+      [ ("c1", true); ("c2", true); ("c2'", true); ("c_fdas", false); ("c_fdi", true) ]
+  end)
+
+let test_hierarchy_violations_sorted () =
+  (* Hashtbl.fold order is unspecified and differs across OCaml versions;
+     the reported violations must come out sorted on both runtime paths *)
+  let expected = [ ("c1", "c_fdas"); ("c2", "c_fdas"); ("c2'", "c_fdas") ] in
+  let run_with ?transport () =
+    Runtime.run
+      {
+        (Runtime.default_config (env "random") violating_protocol) with
+        Runtime.n = 4;
+        seed = 5;
+        max_messages = 100;
+        transport;
+      }
+  in
+  let reliable = run_with () in
+  check "reliable path sorted" true (reliable.Runtime.hierarchy_violations = expected);
+  let faulty = run_with ~transport:Rdt_dist.Transport.default_params () in
+  check "faulty path sorted" true (faulty.Runtime.hierarchy_violations = expected)
+
+let test_basic_continues_while_draining () =
+  (* the send budget stops *sends*, not the computation: with a channel
+     delay far longer than the whole sending phase, every delivery
+     executes after the last send, and the basic-checkpoint timer must
+     keep covering those tail intervals until the channels drain *)
+  let check_path name transport =
+    let tr = Rdt_obs.Trace.ring ~capacity:65536 in
+    let r =
+      Runtime.run
+        {
+          (Runtime.default_config (env "random") (Registry.find_exn "bhmr")) with
+          Runtime.n = 4;
+          seed = 2;
+          max_messages = 12;
+          channel = Rdt_dist.Channel.Uniform (8000, 9000);
+          basic_period = (200, 400);
+          transport;
+          trace = tr;
+        }
+    in
+    let last_send = ref 0 and last_basic = ref 0 in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Rdt_obs.Trace.Send { time; _ } -> last_send := max !last_send time
+        | Rdt_obs.Trace.Ckpt { kind = Rdt_pattern.Types.Basic; time; _ } ->
+            last_basic := max !last_basic time
+        | _ -> ())
+      (Rdt_obs.Trace.events tr);
+    check (name ^ ": messages all delivered") true
+      (P.num_messages r.Runtime.pattern = r.Runtime.metrics.Metrics.messages);
+    if not (!last_basic > !last_send) then
+      Alcotest.failf "%s: no basic checkpoint after the last send (send t=%d, basic t=%d)"
+        name !last_send !last_basic
+  in
+  check_path "reliable" None;
+  check_path "faulty" (Some Rdt_dist.Transport.default_params)
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_checker_units_and_unknown_tracked () =
+  let r = run ~n:4 ~messages:250 ~seed:3 "none" in
+  let rg = Checker.check r.Runtime.pattern in
+  let ch = Checker.check_chains r.Runtime.pattern in
+  let db = Checker.check_doubling r.Runtime.pattern in
+  check "baseline violates RDT" true (not rg.Checker.rdt);
+  check "verdicts agree" true (rg.Checker.rdt = ch.Checker.rdt && ch.Checker.rdt = db.Checker.rdt);
+  (* what [checked] counts is carried explicitly, never cross-compared *)
+  check "rgraph counts rollback dependencies" true (rg.Checker.units = Checker.R_dependencies);
+  check "chains counts rollback dependencies" true (ch.Checker.units = Checker.R_dependencies);
+  check "doubling counts CM-paths" true (db.Checker.units = Checker.Cm_paths);
+  check "populations differ" true (db.Checker.checked <> rg.Checker.checked);
+  check "rgraph names a TDV witness" true
+    (rg.Checker.violations <> []
+    && List.for_all (fun v -> v.Checker.tracked <> None) rg.Checker.violations);
+  check "chain search has no TDV witness" true
+    (ch.Checker.violations <> []
+    && List.for_all (fun v -> v.Checker.tracked = None) ch.Checker.violations);
+  (* rendering: an unknown witness is stated, not printed as an entry *)
+  let v = List.hd ch.Checker.violations in
+  check "honest rendering" true
+    (string_contains (Format.asprintf "%a" Checker.pp_violation v) "no TDV witness");
+  check "units rendered" true
+    (string_contains (Format.asprintf "%a" Checker.pp_report db) "CM-paths"
+    && string_contains (Format.asprintf "%a" Checker.pp_report rg) "rollback dependencies")
+
 let () =
   Alcotest.run "rdt_core"
     [
+      ( "regressions",
+        [
+          Alcotest.test_case "hierarchy violations sorted" `Quick
+            test_hierarchy_violations_sorted;
+          Alcotest.test_case "basic checkpoints while channels drain" `Quick
+            test_basic_continues_while_draining;
+          Alcotest.test_case "checker units and unknown witnesses" `Quick
+            test_checker_units_and_unknown_tracked;
+        ] );
       ( "control",
         [
           Alcotest.test_case "bits" `Quick test_control_bits;

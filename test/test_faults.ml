@@ -82,7 +82,7 @@ let test_transport_fifo_exactly_once () =
   in
   let tp =
     Transport.create ~n:2 ~params:Transport.default_params ~faults
-      ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 42)
+      ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 42) ()
   in
   let q = EQ.create () in
   let delivered = ref [] and undeliv = ref [] in
@@ -109,7 +109,7 @@ let test_transport_partition_heals () =
   in
   let tp =
     Transport.create ~n:2 ~params:Transport.default_params ~faults
-      ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 7)
+      ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 7) ()
   in
   let q = EQ.create () in
   let delivered = ref [] and undeliv = ref [] in
@@ -130,7 +130,7 @@ let test_transport_gives_up () =
   let tp =
     Transport.create ~n:2
       ~params:{ Transport.default_params with max_retx = 3 }
-      ~faults ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 3)
+      ~faults ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create 3) ()
   in
   let q = EQ.create () in
   let delivered = ref [] and undeliv = ref [] in

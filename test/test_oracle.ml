@@ -109,6 +109,30 @@ let test_fixture_verdicts () =
   Alcotest.(check bool) "pairwise-insufficient fixture agrees" (naive_rdt pat)
     (Checker.check pat).Checker.rdt
 
+(* The same-process edge of trackability (§4.1.2): a Z-path can close an
+   R-path from a checkpoint back to an *earlier* checkpoint of the same
+   process, and a backwards R-path is never trackable — no causal chain
+   runs back in time.  Construction: m2 is sent by P1 before it receives
+   m1, but both fall in P1's single interval, so [m1; m2] is a Z-path
+   from after C_{0,2} to before C_{0,1}, giving C_{0,2} ~> C_{0,1}. *)
+let test_backwards_same_process_rpath () =
+  let b = P.Builder.create ~n:2 in
+  let m2 = P.Builder.send ~time:10 b ~src:1 ~dst:0 in
+  P.Builder.recv ~time:20 b m2;
+  ignore (P.Builder.checkpoint ~time:30 b 0) (* C_{0,1} *);
+  ignore (P.Builder.checkpoint ~time:40 b 0) (* C_{0,2} *);
+  let m1 = P.Builder.send ~time:50 b ~src:0 ~dst:1 in
+  P.Builder.recv ~time:60 b m1;
+  let pat = P.Builder.finish b in
+  Alcotest.(check bool) "zigzag closes the backwards pair" true
+    (zpath pat ~i:0 ~x0:2 ~j:0 ~y:1);
+  let g = Rgraph.build pat in
+  Alcotest.(check bool) "R-graph has C_{0,2} ~> C_{0,1}" true (Rgraph.reaches g (0, 2) (0, 1));
+  Alcotest.(check bool) "not RDT (naive oracle)" false (naive_rdt pat);
+  Alcotest.(check bool) "not RDT (R-graph vs TDV)" false (Checker.check pat).Checker.rdt;
+  Alcotest.(check bool) "not RDT (chain search)" false (Checker.check_chains pat).Checker.rdt;
+  Alcotest.(check bool) "not RDT (CM doubling)" false (Checker.check_doubling pat).Checker.rdt
+
 let test_zpath_nontrivial () =
   (* the generator must exercise both verdicts *)
   let verdicts =
@@ -127,6 +151,8 @@ let () =
         [
           qt naive_rdt_matches_checkers;
           Alcotest.test_case "paper fixtures" `Quick test_fixture_verdicts;
+          Alcotest.test_case "backwards same-process R-path" `Quick
+            test_backwards_same_process_rpath;
           Alcotest.test_case "generator exercises both verdicts" `Quick test_zpath_nontrivial;
         ] );
     ]

@@ -76,7 +76,7 @@ let run_scenario s =
   in
   let tp =
     Transport.create ~n:2 ~params ~faults:(faults_of s) ~channel:(Channel.Uniform (5, 60))
-      ~rng:(Rng.create s.seed)
+      ~rng:(Rng.create s.seed) ()
   in
   let q = EQ.create () in
   let delivered = ref [] and undeliv = ref [] in
@@ -151,7 +151,7 @@ let test_duplicate_data_suppressed () =
      past the first must be discarded without a second delivery *)
   let tp =
     Transport.create ~n:2 ~params:Transport.default_params ~faults:Faults.none
-      ~channel:(Channel.Uniform (5, 10)) ~rng:(Rng.create 11)
+      ~channel:(Channel.Uniform (5, 10)) ~rng:(Rng.create 11) ()
   in
   let q = EQ.create () in
   let delivered = ref [] in
