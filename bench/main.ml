@@ -57,7 +57,7 @@ let analysis_tests =
     Test.make ~name:"analysis/tdv-replay"
       (Staged.stage (fun () -> ignore (Rdt_pattern.Tdv.compute pattern)));
     Test.make ~name:"analysis/rdt-check"
-      (Staged.stage (fun () -> ignore (Rdt_core.Checker.check pattern)));
+      (Staged.stage (fun () -> ignore (Rdt_core.Checker.run pattern)));
     Test.make ~name:"analysis/min-gcp-fixpoint"
       (Staged.stage (fun () -> ignore (Rdt_core.Min_gcp.minimum pattern (0, 1))));
     Test.make ~name:"analysis/recovery-line"

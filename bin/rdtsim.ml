@@ -9,6 +9,7 @@
      snapshot     coordinated Chandy-Lamport snapshots over a workload
      twophase     coordinated Koo-Toueg two-phase checkpointing
      crashrun     inject online crashes and recover while the run continues
+     watch        stream a trace (or a live run) through the incremental online checker
      list         available protocols and environments *)
 
 open Cmdliner
@@ -156,16 +157,10 @@ let faults_term =
   Term.(
     const mk $ drop $ dup $ reorder $ reorder_window $ partition $ retx_timeout $ max_retx)
 
-let config ?(trace = Rdt_obs.Trace.null) env protocol n seed messages (faults, transport) =
-  {
-    (Rdt_core.Runtime.default_config ((fun (_, f) -> f ()) env) protocol) with
-    Rdt_core.Runtime.n;
-    seed;
-    max_messages = messages;
-    faults;
-    transport;
-    trace;
-  }
+let config ?trace ?online env protocol n seed messages (faults, transport) =
+  Rdt_core.Runtime.configure ~n ~seed ~messages ~faults ?transport ?trace ?online
+    ((fun (_, f) -> f ()) env)
+    protocol
 
 (* ---- event tracing (run, verify, recover and crashrun) ---- *)
 
@@ -239,32 +234,90 @@ let run_cmd =
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
       $ dot $ draw $ trace_arg)
 
+(* ---- checker-algorithm selection (verify and watch) ---- *)
+
+type algo_sel = All | One of Rdt_core.Checker.algo
+
+let algo_conv =
+  let parse s =
+    if String.lowercase_ascii s = "all" then Ok All
+    else
+      match Rdt_core.Checker.algo_of_string s with
+      | Ok a -> Ok (One a)
+      | Error e -> Error (`Msg e)
+  in
+  let print ppf = function
+    | All -> Format.pp_print_string ppf "all"
+    | One a -> Format.pp_print_string ppf (Rdt_core.Checker.algo_name a)
+  in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(
+    value
+    & opt (some algo_conv) None
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:
+          "Checker algorithm passed to $(b,Checker.run): $(b,all) (the default), \
+           $(b,rgraph), $(b,chains), $(b,doubling) or $(b,online).")
+
+(* the pre-unification spelling; kept as an alias so existing scripts
+   survive the Checker API migration *)
+let deprecated_checker_arg =
+  Arg.(
+    value
+    & opt (some algo_conv) None
+    & info [ "checker" ] ~docv:"ALGO" ~docs:"DEPRECATED ALIASES"
+        ~doc:"Deprecated alias of $(b,--algo).")
+
+let resolve_algo_sel algo checker =
+  match (algo, checker) with
+  | Some sel, _ -> sel
+  | None, Some sel ->
+      Format.eprintf "rdtsim: --checker is deprecated; use --algo instead@.";
+      sel
+  | None, None -> All
+
+(* the name recorded in [Verdict] trace events; "rgraph_tdv" predates the
+   unified API and is kept so old traces keep replay-checking cleanly *)
+let verdict_name = function
+  | `Rgraph -> "rgraph_tdv"
+  | a -> Rdt_core.Checker.algo_name a
+
+let checker_label = function
+  | `Rgraph -> "R-graph vs TDV     "
+  | `Chains -> "causal-chain search"
+  | `Doubling -> "CM-path doubling   "
+  | `Online -> "incremental online "
+
 let verify_cmd =
-  let doc = "Simulate one run and verify the RDT property offline (three checkers)." in
-  let action env protocol n seed messages net trace =
+  let doc = "Simulate one run and verify the RDT property offline (all four checkers)." in
+  let action env protocol n seed messages net algo checker trace =
+    let sel = resolve_algo_sel algo checker in
     with_trace trace ~mode:"verify" ~n ~protocol ~env ~seed @@ fun tr ->
     let r = Rdt_core.Runtime.run (config ~trace:tr env protocol n seed messages net) in
     print_metrics r;
+    let algos = match sel with All -> Rdt_core.Checker.all_algos | One a -> [ a ] in
     (* record each checker's verdict in the trace so [rdtsim trace replay]
        can assert the rebuilt pattern agrees with the live run *)
-    let verdict name (rep : Rdt_core.Checker.report) =
-      Rdt_obs.Trace.emit tr (Rdt_obs.Trace.Verdict { checker = name; rdt = rep.rdt });
-      rep
+    let reports =
+      List.map
+        (fun a ->
+          let rep = Rdt_core.Checker.run ~algo:a r.pattern in
+          Rdt_obs.Trace.emit tr
+            (Rdt_obs.Trace.Verdict { checker = verdict_name a; rdt = rep.Rdt_core.Checker.rdt });
+          Format.printf "%s: %a@." (checker_label a) Rdt_core.Checker.pp_report rep;
+          rep)
+        algos
     in
-    let rep = verdict "rgraph_tdv" (Rdt_core.Checker.check r.pattern) in
-    Format.printf "R-graph vs TDV     : %a@." Rdt_core.Checker.pp_report rep;
-    Format.printf "causal-chain search: %a@." Rdt_core.Checker.pp_report
-      (verdict "chains" (Rdt_core.Checker.check_chains r.pattern));
-    Format.printf "CM-path doubling   : %a@." Rdt_core.Checker.pp_report
-      (verdict "doubling" (Rdt_core.Checker.check_doubling r.pattern));
     Format.printf "Corollary 4.5      : %s@."
       (if Rdt_core.Min_gcp.corollary_holds r.pattern then "holds" else "VIOLATED");
-    if not rep.Rdt_core.Checker.rdt then exit 1
+    if List.exists (fun (rep : Rdt_core.Checker.report) -> not rep.rdt) reports then exit 1
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ trace_arg)
+      $ algo_arg $ deprecated_checker_arg $ trace_arg)
 
 (* ---- grid sharding flags (experiments and table) ---- *)
 
@@ -325,7 +378,7 @@ let table_cmd =
   let table_names =
     [
       "protocols"; "overhead"; "claim"; "mingcp"; "ablation"; "recovery"; "coordinated";
-      "breakeven"; "goodput"; "faults";
+      "breakeven"; "goodput"; "faults"; "online";
     ]
   in
   let names_arg =
@@ -388,6 +441,9 @@ let table_cmd =
               "TAB-FAULTS: forced-checkpoint inflation and retransmission cost vs drop rate \
                (bhmr, n=6)";
             Rdt_harness.Table.print (E.table_faults ~jobs ~report ~seeds ())
+        | "online" ->
+            hdr "BENCH-ONLINE: amortized per-event cost of the incremental checker (bhmr, n=8)";
+            Rdt_harness.Table.print (E.table_online ~report ())
         | _ -> assert false)
       names;
     Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
@@ -536,16 +592,9 @@ let crashrun_cmd =
     in
     let r =
       CS.run
-        {
-          (CS.default_config ((fun (_, f) -> f ()) env) protocol) with
-          CS.n;
-          seed;
-          max_messages = messages;
-          crashes;
-          faults;
-          transport;
-          trace = tr;
-        }
+        (CS.configure ~n ~seed ~messages ~crashes ~faults ?transport ~trace:tr
+           ((fun (_, f) -> f ()) env)
+           protocol)
     in
     List.iter
       (fun (rc : CS.recovery) ->
@@ -564,7 +613,7 @@ let crashrun_cmd =
       Format.printf "network: %d retransmissions, %d packets dropped, %d undeliverable@."
         r.metrics.CS.retransmissions r.metrics.CS.packets_dropped r.metrics.CS.undeliverable;
     Format.printf "%a@." Rdt_pattern.Pattern.pp_summary r.pattern;
-    let rep = Rdt_core.Checker.check r.pattern in
+    let rep = Rdt_core.Checker.run r.pattern in
     Rdt_obs.Trace.emit tr
       (Rdt_obs.Trace.Verdict { checker = "rgraph_tdv"; rdt = rep.Rdt_core.Checker.rdt });
     Format.printf "RDT on the surviving execution: %a@." Rdt_core.Checker.pp_report rep
@@ -632,11 +681,9 @@ let trace_replay_cmd =
     | Ok pat ->
         Format.printf "%a@." Rdt_pattern.Pattern.pp_summary pat;
         let replayed =
-          [
-            ("rgraph_tdv", (Rdt_core.Checker.check pat).Rdt_core.Checker.rdt);
-            ("chains", (Rdt_core.Checker.check_chains pat).Rdt_core.Checker.rdt);
-            ("doubling", (Rdt_core.Checker.check_doubling pat).Rdt_core.Checker.rdt);
-          ]
+          List.map
+            (fun a -> (verdict_name a, (Rdt_core.Checker.run ~algo:a pat).Rdt_core.Checker.rdt))
+            Rdt_core.Checker.all_algos
         in
         List.iter
           (fun (name, rdt) ->
@@ -681,6 +728,57 @@ let trace_cmd =
   in
   Cmd.group (Cmd.info "trace" ~doc ~man) [ trace_summary_cmd; trace_filter_cmd; trace_replay_cmd ]
 
+let watch_cmd =
+  let doc = "Stream events through the incremental online RDT checker." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "With $(i,FILE), streams a recorded JSONL trace (produced by $(b,--trace)) through \
+         the incremental checker one event at a time: the engine maintains the R-graph, \
+         per-checkpoint reachability and TDV-witness state online, retracts state across \
+         $(b,rollback) events, and latches the index of the first event whose prefix \
+         violated RDT.  Without $(i,FILE), simulates a run live with the checker tee'd \
+         into the event stream.  The verdict goes to stdout; per-event cost goes to \
+         stderr.  Exits 1 on a violated final verdict, 2 on an inconsistent trace.";
+    ]
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file to stream (default: simulate a live run).")
+  in
+  let action env protocol n seed messages net file =
+    let module O = Rdt_check.Online in
+    let finish ?dt (s : O.summary) =
+      Format.printf "%a@." O.pp_summary s;
+      (match dt with
+      | Some dt when s.events > 0 ->
+          Format.eprintf "streamed %d events in %.3f s (%.0f ns/event)@." s.events dt
+            (1e9 *. dt /. float_of_int s.events)
+      | _ -> ());
+      if not s.rdt then exit 1
+    in
+    match file with
+    | Some file ->
+        let events = load_trace file in
+        let t0 = Unix.gettimeofday () in
+        (match O.check_trace events with
+        | Error e ->
+            Format.eprintf "rdtsim: inconsistent trace: %s@." e;
+            exit 2
+        | Ok t -> finish ~dt:(Unix.gettimeofday () -. t0) (O.summary t))
+    | None -> (
+        let r = Rdt_core.Runtime.run (config ~online:true env protocol n seed messages net) in
+        print_metrics r;
+        match r.online with Some s -> finish s | None -> assert false)
+  in
+  Cmd.v (Cmd.info "watch" ~doc ~man)
+    Term.(
+      const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
+      $ file_arg)
+
 let list_cmd =
   let doc = "List available protocols and environments." in
   let action () =
@@ -703,7 +801,7 @@ let main =
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
     [
       run_cmd; verify_cmd; experiments_cmd; table_cmd; recover_cmd; snapshot_cmd; twophase_cmd;
-      crashrun_cmd; trace_cmd; list_cmd;
+      crashrun_cmd; trace_cmd; watch_cmd; list_cmd;
     ]
 
 let () =

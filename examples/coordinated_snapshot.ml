@@ -46,7 +46,7 @@ let () =
         max_messages;
       }
   in
-  assert (Rdt_core.Checker.check cic.pattern).rdt;
+  assert (Rdt_core.Checker.run cic.pattern).rdt;
   Format.printf
     "@.BHMR: %d basic + %d forced checkpoints, 0 control messages, %d piggybacked bits/message@."
     cic.metrics.basic cic.metrics.forced cic.metrics.payload_bits_per_msg;

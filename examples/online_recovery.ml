@@ -47,7 +47,7 @@ let () =
   (* the surviving pattern of an RDT protocol is itself RDT: dependency
      tracking survived the rollbacks because each checkpoint carried a
      snapshot of the protocol state *)
-  assert (Rdt_core.Checker.check bhmr.pattern).rdt;
+  assert (Rdt_core.Checker.run bhmr.pattern).rdt;
   assert (Rdt_core.Checker.online_tdv_consistent bhmr.pattern);
   Format.printf "RDT verified on the surviving execution.@.";
 

@@ -30,7 +30,7 @@ let () =
     (fun protocol ->
       let r = run protocol in
       let m = r.Rdt_core.Runtime.metrics in
-      let verdict = (Rdt_core.Checker.check r.pattern).Rdt_core.Checker.rdt in
+      let verdict = (Rdt_core.Checker.run r.pattern).Rdt_core.Checker.rdt in
       Rdt_harness.Table.add_row table
         [
           Rdt_core.Protocol.name protocol;

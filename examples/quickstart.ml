@@ -26,7 +26,7 @@ let () =
 
   (* 3. Verify the RDT property offline: every rollback dependency in the
      R-graph must be on-line trackable. *)
-  let report = Rdt_core.Checker.check result.pattern in
+  let report = Rdt_core.Checker.run result.pattern in
   Format.printf "checker : %a@." Rdt_core.Checker.pp_report report;
   assert report.rdt;
 

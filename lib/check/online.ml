@@ -1,0 +1,589 @@
+module P = Rdt_pattern.Pattern
+module T = Rdt_pattern.Types
+module Bitset = Rdt_pattern.Bitset
+module Trace = Rdt_obs.Trace
+
+exception Inconsistent of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Inconsistent s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* The incremental core                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* One [core] is the R-graph of the events applied so far, with per-node
+   reachability kept incrementally.  Nodes are checkpoints; each process
+   additionally owns one OPEN node — the checkpoint that will close its
+   current interval.  It is where message edges attach (a message sent or
+   delivered in interval I_{i,x} touches C_{i,x}, which does not exist yet
+   at event time), and it doubles as the Final checkpoint that
+   [Builder.finish] would append if the run stopped here.
+
+   Per node [v] we keep:
+   - [reached_by.(v)]: the set of nodes with an R-path to [v].  Edge
+     insertion restores the closure invariant (for every edge (u,w),
+     {u} ∪ reached_by(u) ⊆ reached_by(w)) by worklist propagation;
+     [Bitset.union_into_iter] reports each newly reached node exactly
+     once, which is what makes the total propagation work proportional
+     to the number of (source, target) pairs rather than re-scans.
+   - [max_reach.(v).(i)]: the largest checkpoint index of process [i]
+     with an R-path to [v] (the x* of the offline checker), updated in
+     O(1) per newly reached pair.  [max_reach.(v).(owner v)] starts at
+     [cindex v]: reachability is reflexive in the offline R-graph.
+   - [tdv.(v)]: while open, an alias of the owner's live TDV vector (the
+     snapshot a Final here would record); frozen to a copy when the
+     checkpoint is taken — exactly the [Tdv.compute] replay.
+
+   A pair (v, i) is a violation iff [max_reach.(v).(i)] exceeds what the
+   TDV tracks: [tdv.(v).(i)] for [i <> owner v], and [cindex v] for
+   [i = owner v] (a same-process R-path backwards in time is never
+   trackable, Section 4.1.2 of the paper).  For closed nodes both sides
+   are frozen or monotone, so violations are latched as they appear; for
+   open nodes both sides still move, so the per-process verdict is
+   recomputed — only for processes touched by the event — in [refresh]. *)
+type core = {
+  n : int;
+  mutable cap : int; (* capacity of the node arrays, >= num_nodes *)
+  mutable num_nodes : int;
+  mutable owner : int array;
+  mutable cindex : int array;
+  mutable closed : bool array;
+  mutable succ : int list array;
+  mutable reached_by : Bitset.t array;
+  mutable max_reach : int array array;
+  mutable tdv : int array array;
+  mutable viol : bool array array; (* closed nodes: latched per-process violation flags *)
+  open_slot : int array; (* pid -> its open node *)
+  open_events : int array; (* events in the open interval; 0 = no Final here *)
+  vectors : int array array; (* live TDV vectors, as in Tdv.compute *)
+  by_index : (int * int, int) Hashtbl.t; (* (pid, index) -> node *)
+  msg_slot : (int, int) Hashtbl.t; (* message -> sender's node at send time *)
+  payloads : (int, int array) Hashtbl.t;
+  dirty : bool array; (* pid -> open verdict needs recomputing *)
+  open_bad : bool array;
+  mutable open_bad_count : int;
+  mutable bad_pairs : int; (* violations among closed nodes, monotone *)
+  mutable has_cycle : bool;
+}
+
+let dummy_bitset = Bitset.create 0
+
+let grow c =
+  let new_cap = 2 * c.cap in
+  let extend a fill =
+    let b = Array.make new_cap fill in
+    Array.blit a 0 b 0 c.num_nodes;
+    b
+  in
+  c.owner <- extend c.owner 0;
+  c.cindex <- extend c.cindex 0;
+  c.closed <- extend c.closed false;
+  c.succ <- extend c.succ [];
+  c.reached_by <- extend c.reached_by dummy_bitset;
+  c.max_reach <- extend c.max_reach [||];
+  c.tdv <- extend c.tdv [||];
+  c.viol <- extend c.viol [||];
+  for v = 0 to c.num_nodes - 1 do
+    Bitset.ensure_capacity c.reached_by.(v) new_cap
+  done;
+  c.cap <- new_cap
+
+let new_node c ~owner ~index ~tdv =
+  if c.num_nodes = c.cap then grow c;
+  let v = c.num_nodes in
+  c.num_nodes <- v + 1;
+  c.owner.(v) <- owner;
+  c.cindex.(v) <- index;
+  c.closed.(v) <- false;
+  c.succ.(v) <- [];
+  c.reached_by.(v) <- Bitset.create c.cap;
+  let mr = Array.make c.n (-1) in
+  mr.(owner) <- index;
+  c.max_reach.(v) <- mr;
+  c.tdv.(v) <- tdv;
+  c.viol.(v) <- [||];
+  Hashtbl.replace c.by_index (owner, index) v;
+  v
+
+(* [v] gained an R-path into [w]. *)
+let new_pair c v w =
+  if v = w then c.has_cycle <- true;
+  let i = c.owner.(v) and x = c.cindex.(v) in
+  let mr = c.max_reach.(w) in
+  if x > mr.(i) then begin
+    mr.(i) <- x;
+    if c.closed.(w) then begin
+      let allowed = if i = c.owner.(w) then c.cindex.(w) else c.tdv.(w).(i) in
+      if x > allowed && not c.viol.(w).(i) then begin
+        c.viol.(w).(i) <- true;
+        c.bad_pairs <- c.bad_pairs + 1
+      end
+    end
+    else c.dirty.(c.owner.(w)) <- true
+  end
+
+let add_edge c u w =
+  if not (List.mem w c.succ.(u)) then begin
+    c.succ.(u) <- w :: c.succ.(u);
+    let q = Queue.create () in
+    let changed = ref false in
+    if not (Bitset.mem c.reached_by.(w) u) then begin
+      Bitset.add c.reached_by.(w) u;
+      new_pair c u w;
+      changed := true
+    end;
+    if Bitset.union_into_iter c.reached_by.(w) c.reached_by.(u) ~f:(fun v -> new_pair c v w) then
+      changed := true;
+    if !changed then Queue.add w q;
+    while not (Queue.is_empty q) do
+      let z = Queue.pop q in
+      List.iter
+        (fun s ->
+          if Bitset.union_into_iter c.reached_by.(s) c.reached_by.(z) ~f:(fun v -> new_pair c v s)
+          then Queue.add s q)
+        c.succ.(z)
+    done
+  end
+
+let core_send c ~msg ~src =
+  Hashtbl.replace c.payloads msg (Array.copy c.vectors.(src));
+  Hashtbl.replace c.msg_slot msg c.open_slot.(src);
+  c.open_events.(src) <- c.open_events.(src) + 1;
+  c.dirty.(src) <- true
+
+let core_deliver c ~msg ~dst =
+  let u =
+    match Hashtbl.find_opt c.msg_slot msg with
+    | Some u -> u
+    | None -> bad "surviving delivery of rolled-back send %d" msg
+  in
+  let p = Hashtbl.find c.payloads msg in
+  let v = c.vectors.(dst) in
+  for k = 0 to c.n - 1 do
+    if p.(k) > v.(k) then v.(k) <- p.(k)
+  done;
+  c.open_events.(dst) <- c.open_events.(dst) + 1;
+  c.dirty.(dst) <- true;
+  add_edge c u c.open_slot.(dst)
+
+let core_internal c ~pid =
+  c.open_events.(pid) <- c.open_events.(pid) + 1;
+  c.dirty.(pid) <- true
+
+let core_ckpt c ~pid ~index =
+  let w = c.open_slot.(pid) in
+  if c.cindex.(w) <> index then
+    bad "checkpoint %d of pid %d out of order (expected index %d)" index pid c.cindex.(w);
+  c.tdv.(w) <- Array.copy c.vectors.(pid);
+  c.closed.(w) <- true;
+  let vl = Array.make c.n false in
+  c.viol.(w) <- vl;
+  let mr = c.max_reach.(w) and frozen = c.tdv.(w) in
+  for i = 0 to c.n - 1 do
+    (* i = pid cannot be violated here: no later checkpoint of pid exists yet *)
+    if i <> pid && mr.(i) > frozen.(i) then begin
+      vl.(i) <- true;
+      c.bad_pairs <- c.bad_pairs + 1
+    end
+  done;
+  c.vectors.(pid).(pid) <- index + 1;
+  let w' = new_node c ~owner:pid ~index:(index + 1) ~tdv:c.vectors.(pid) in
+  c.open_slot.(pid) <- w';
+  c.open_events.(pid) <- 0;
+  c.dirty.(pid) <- true;
+  add_edge c w w'
+
+(* Exclude an undeliverable message's send from the pattern (mirroring
+   [Replay.rebuild]): sends create no edges and no TDV effect, so the
+   only retraction needed is the open-interval event count. *)
+let core_retract_send c ~msg =
+  (match Hashtbl.find_opt c.msg_slot msg with
+  | Some u when not c.closed.(u) ->
+      let src = c.owner.(u) in
+      c.open_events.(src) <- c.open_events.(src) - 1;
+      c.dirty.(src) <- true
+  | _ -> ());
+  Hashtbl.remove c.msg_slot msg;
+  Hashtbl.remove c.payloads msg
+
+let core_create ~n =
+  let cap = max 16 (4 * n) in
+  let c =
+    {
+      n;
+      cap;
+      num_nodes = 0;
+      owner = Array.make cap 0;
+      cindex = Array.make cap 0;
+      closed = Array.make cap false;
+      succ = Array.make cap [];
+      reached_by = Array.make cap dummy_bitset;
+      max_reach = Array.make cap [||];
+      tdv = Array.make cap [||];
+      viol = Array.make cap [||];
+      open_slot = Array.make n 0;
+      open_events = Array.make n 0;
+      vectors = Array.init n (fun _ -> Array.make n 0);
+      by_index = Hashtbl.create (4 * n);
+      msg_slot = Hashtbl.create 64;
+      payloads = Hashtbl.create 64;
+      dirty = Array.make n false;
+      open_bad = Array.make n false;
+      open_bad_count = 0;
+      bad_pairs = 0;
+      has_cycle = false;
+    }
+  in
+  (* the builder takes C_{i,0} at creation; mirror that *)
+  for pid = 0 to n - 1 do
+    c.open_slot.(pid) <- new_node c ~owner:pid ~index:0 ~tdv:c.vectors.(pid);
+    core_ckpt c ~pid ~index:0
+  done;
+  c
+
+let recompute_open_bad c pid =
+  if c.open_events.(pid) = 0 then false
+  else begin
+    let mr = c.max_reach.(c.open_slot.(pid)) and live = c.vectors.(pid) in
+    let b = ref false in
+    for i = 0 to c.n - 1 do
+      if i <> pid && mr.(i) > live.(i) then b := true
+    done;
+    !b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The engine: surviving-history log + rollback-triggered rebuild      *)
+(* ------------------------------------------------------------------ *)
+
+(* [seq] restores global order when the per-process stacks are flattened
+   after a rollback; the scheme is the same as [Replay.rebuild]'s. *)
+type entry =
+  | L_send of { seq : int; msg : int }
+  | L_recv of { seq : int; msg : int }
+  | L_internal of { seq : int }
+  | L_ckpt of { seq : int; index : int }
+
+let entry_seq = function
+  | L_send { seq; _ } | L_recv { seq; _ } | L_internal { seq; _ } | L_ckpt { seq; _ } -> seq
+
+type t = {
+  n : int;
+  track_open : bool;
+  mutable core : core;
+  stacks : entry list array; (* surviving entries per process, newest first *)
+  routes : (int, int * int) Hashtbl.t;
+  undeliv : (int, unit) Hashtbl.t;
+  mutable seen : int;
+  mutable first_violation : int option;
+  mutable rebuilds : int;
+  mutable orphans : int list;
+      (* surviving deliveries whose send was rolled back: transiently legal
+         mid-cascade (the receiver's own rollback has not been observed
+         yet), inconsistent if still present when the stream ends *)
+}
+
+let create ?(track_open = true) ~n () =
+  if n <= 0 then invalid_arg "Online.create: n must be positive";
+  {
+    n;
+    track_open;
+    core = core_create ~n;
+    stacks = Array.make n [];
+    routes = Hashtbl.create 64;
+    undeliv = Hashtbl.create 8;
+    seen = 0;
+    first_violation = None;
+    rebuilds = 0;
+    orphans = [];
+  }
+
+let n t = t.n
+
+let events_seen t = t.seen
+
+let rdt_so_far t =
+  t.core.bad_pairs = 0 && ((not t.track_open) || t.core.open_bad_count = 0)
+
+let first_violation t = t.first_violation
+
+let zcycle t = t.core.has_cycle
+
+let rebuilds t = t.rebuilds
+
+let orphan_messages t = List.rev t.orphans
+
+let check_pid t pid what =
+  if pid < 0 || pid >= t.n then bad "%s: pid %d out of range" what pid
+
+(* settle the per-process open verdicts touched by the event, then latch
+   the first-violation index *)
+let finish_step t =
+  let c = t.core in
+  for pid = 0 to c.n - 1 do
+    if c.dirty.(pid) then begin
+      c.dirty.(pid) <- false;
+      let b = recompute_open_bad c pid in
+      if b <> c.open_bad.(pid) then begin
+        c.open_bad.(pid) <- b;
+        c.open_bad_count <- (c.open_bad_count + if b then 1 else -1)
+      end
+    end
+  done;
+  if t.first_violation = None && not (rdt_so_far t) then t.first_violation <- Some t.seen;
+  t.seen <- t.seen + 1
+
+let op_send t ~msg ~src ~dst =
+  check_pid t src "send";
+  check_pid t dst "send";
+  Hashtbl.replace t.routes msg (src, dst);
+  t.stacks.(src) <- L_send { seq = t.seen; msg } :: t.stacks.(src);
+  core_send t.core ~msg ~src
+
+let op_deliver t ~msg ~dst =
+  check_pid t dst "deliver";
+  if not (Hashtbl.mem t.routes msg) then bad "deliver of unknown message %d" msg;
+  if Hashtbl.mem t.undeliv msg then bad "deliver of undeliverable message %d" msg;
+  t.stacks.(dst) <- L_recv { seq = t.seen; msg } :: t.stacks.(dst);
+  core_deliver t.core ~msg ~dst
+
+let op_internal t ~pid =
+  check_pid t pid "internal";
+  t.stacks.(pid) <- L_internal { seq = t.seen } :: t.stacks.(pid);
+  core_internal t.core ~pid
+
+let op_checkpoint t ~pid ~index =
+  check_pid t pid "ckpt";
+  t.stacks.(pid) <- L_ckpt { seq = t.seen; index } :: t.stacks.(pid);
+  core_ckpt t.core ~pid ~index
+
+let op_undeliverable t ~msg =
+  Hashtbl.replace t.undeliv msg ();
+  core_retract_send t.core ~msg
+
+let rebuild t =
+  t.rebuilds <- t.rebuilds + 1;
+  let c = core_create ~n:t.n in
+  t.core <- c;
+  let entries =
+    Array.to_list t.stacks
+    |> List.mapi (fun pid stack -> List.rev_map (fun e -> (pid, e)) stack)
+    |> List.concat
+    |> List.sort (fun (_, a) (_, b) -> compare (entry_seq a) (entry_seq b))
+  in
+  t.orphans <- [];
+  List.iter
+    (fun (pid, e) ->
+      match e with
+      | L_send { msg; _ } -> if not (Hashtbl.mem t.undeliv msg) then core_send c ~msg ~src:pid
+      | L_recv { msg; _ } ->
+          (* a delivery can outlive its send mid-cascade: the sender rolled
+             back first and the receiver's rollback has not arrived yet.
+             Exclude it from the rebuilt state; it must be popped by a
+             later rollback for the stream to end consistently. *)
+          if Hashtbl.mem c.msg_slot msg then core_deliver c ~msg ~dst:pid
+          else t.orphans <- msg :: t.orphans
+      | L_internal _ -> core_internal c ~pid
+      | L_ckpt { index; _ } -> core_ckpt c ~pid ~index)
+    entries;
+  (* every open verdict is stale; settle them all *)
+  for pid = 0 to t.n - 1 do
+    c.dirty.(pid) <- true
+  done
+
+let op_rollback t ~pid ~to_index =
+  check_pid t pid "rollback";
+  let rec pop = function
+    | L_ckpt { index; _ } :: _ as kept when index = to_index -> kept
+    | [] ->
+        if to_index = 0 then [] (* initial checkpoint: implicit, empty history *)
+        else bad "rollback of pid %d to missing checkpoint %d" pid to_index
+    | _ :: rest -> pop rest
+  in
+  t.stacks.(pid) <- pop t.stacks.(pid);
+  rebuild t
+
+let send t ~msg ~src ~dst =
+  op_send t ~msg ~src ~dst;
+  finish_step t
+
+let deliver t ~msg ~dst =
+  op_deliver t ~msg ~dst;
+  finish_step t
+
+let internal t ~pid =
+  op_internal t ~pid;
+  finish_step t
+
+let checkpoint t ~pid ~index =
+  op_checkpoint t ~pid ~index;
+  finish_step t
+
+let undeliverable t ~msg =
+  op_undeliverable t ~msg;
+  finish_step t
+
+let rollback t ~pid ~to_index =
+  op_rollback t ~pid ~to_index;
+  finish_step t
+
+let observe t (ev : Trace.event) =
+  (match ev with
+  | Meta _ | Verdict _ | Retransmit _ | Drop _ | Replay _ ->
+      (* transport noise and annotations: no pattern effect (a replayed
+         delivery shows up as a fresh Deliver) *)
+      ()
+  | Send { msg; src; dst; _ } -> op_send t ~msg ~src ~dst
+  | Deliver { msg; dst; _ } -> op_deliver t ~msg ~dst
+  | Internal { pid; _ } -> op_internal t ~pid
+  | Ckpt { pid; index; kind; _ } ->
+      check_pid t pid "ckpt";
+      (* the initial C_{i,0} is taken at creation, like the builder's *)
+      if kind <> T.Initial then op_checkpoint t ~pid ~index
+  | Undeliverable { msg; _ } -> op_undeliverable t ~msg
+  | Rollback { pid; to_index; _ } -> op_rollback t ~pid ~to_index);
+  finish_step t
+
+let observer t = Trace.observer (observe t)
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_node t (i, x) =
+  check_pid t i "query";
+  match Hashtbl.find_opt t.core.by_index (i, x) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Online: C(%d,%d) does not exist" i x)
+
+let trackable t (i, x) (j, y) =
+  let _ = find_node t (i, x) and w = find_node t (j, y) in
+  if i = j then x <= y else t.core.tdv.(w).(i) >= x
+
+let reaches t a b =
+  let u = find_node t a and w = find_node t b in
+  u = w || Bitset.mem t.core.reached_by.(w) u
+
+let in_cycle t a =
+  let v = find_node t a in
+  Bitset.mem t.core.reached_by.(v) v
+
+let num_checkpoints t = t.core.num_nodes - t.n
+
+(* a node contributes to the verdict iff it is a real checkpoint, or —
+   when tracking open intervals — the Final that [Builder.finish] would
+   append (only appended when the interval has events) *)
+let eligible t v =
+  let c = t.core in
+  c.closed.(v) || (t.track_open && c.open_events.(c.owner.(v)) > 0)
+
+let checked t =
+  let c = t.core in
+  let total = ref 0 in
+  for v = 0 to c.num_nodes - 1 do
+    if eligible t v then begin
+      let mr = c.max_reach.(v) in
+      for i = 0 to c.n - 1 do
+        if mr.(i) >= 0 then incr total
+      done
+    end
+  done;
+  !total
+
+type violation = { from_ckpt : T.ckpt_id; to_ckpt : T.ckpt_id; tracked : int }
+
+let violations t =
+  let c = t.core in
+  let acc = ref [] in
+  for v = 0 to c.num_nodes - 1 do
+    if eligible t v then begin
+      let mr = c.max_reach.(v) and j = c.owner.(v) and y = c.cindex.(v) in
+      for i = 0 to c.n - 1 do
+        let allowed = if i = j then y else c.tdv.(v).(i) in
+        if mr.(i) > allowed then
+          acc := { from_ckpt = (i, mr.(i)); to_ckpt = (j, y); tracked = allowed } :: !acc
+      done
+    end
+  done;
+  (* the offline checkers iterate (j, y, i); match their report order *)
+  List.sort
+    (fun a b ->
+      compare (a.to_ckpt, fst a.from_ckpt) (b.to_ckpt, fst b.from_ckpt))
+    !acc
+
+type summary = {
+  events : int;
+  checkpoints : int;
+  rdt : bool;
+  first_violation : int option;
+  zcycle : bool;
+  rebuilds : int;
+}
+
+let summary t =
+  {
+    events = t.seen;
+    checkpoints = num_checkpoints t;
+    rdt = rdt_so_far t;
+    first_violation = t.first_violation;
+    zcycle = zcycle t;
+    rebuilds = t.rebuilds;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "events: %d, checkpoints: %d, rdt: %b%s%s" s.events s.checkpoints s.rdt
+    (match s.first_violation with
+    | None -> ""
+    | Some i -> Printf.sprintf ", first violation at event %d" i)
+    (if s.rebuilds > 0 then Printf.sprintf ", rebuilds: %d" s.rebuilds else "")
+
+(* ------------------------------------------------------------------ *)
+(* Whole-pattern and whole-trace convenience drivers                   *)
+(* ------------------------------------------------------------------ *)
+
+let feed t events = List.iter (observe t) events
+
+let check_pattern pat =
+  let t = create ~track_open:false ~n:(P.n pat) () in
+  let messages = P.messages pat in
+  Array.iter
+    (fun (pid, _pos, ev) ->
+      match ev with
+      | T.Ckpt 0 -> () (* initial checkpoints are taken at creation *)
+      | T.Ckpt x -> checkpoint t ~pid ~index:x
+      | T.Send id -> send t ~msg:id ~src:pid ~dst:messages.(id).T.dst
+      | T.Recv id -> deliver t ~msg:id ~dst:pid
+      | T.Internal -> internal t ~pid)
+    (P.events_in_gseq_order pat);
+  t
+
+let trace_n events =
+  match List.find_map (function Trace.Meta { n; _ } -> Some n | _ -> None) events with
+  | Some n -> n
+  | None ->
+      (* infer from the largest pid mentioned, as Replay.rebuild does *)
+      let m = ref (-1) in
+      List.iter
+        (fun (ev : Trace.event) ->
+          match ev with
+          | Send { src; dst; _ }
+          | Deliver { src; dst; _ }
+          | Retransmit { src; dst; _ }
+          | Drop { src; dst; _ }
+          | Undeliverable { src; dst; _ }
+          | Replay { src; dst; _ } ->
+              m := max !m (max src dst)
+          | Internal { pid; _ } | Ckpt { pid; _ } | Rollback { pid; _ } -> m := max !m pid
+          | Meta _ | Verdict _ -> ())
+        events;
+      if !m < 0 then bad "empty trace: no events and no meta header";
+      !m + 1
+
+let check_trace events =
+  try
+    let t = create ~n:(trace_n events) () in
+    feed t events;
+    match t.orphans with
+    | [] -> Ok t
+    | msg :: _ -> Error (Printf.sprintf "surviving delivery of rolled-back send %d" msg)
+  with Inconsistent e -> Error e

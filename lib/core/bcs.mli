@@ -1,0 +1,8 @@
+(** The index-based protocol of Briatico, Ciuffoletti and Simoncini
+    ("A distributed domino-effect free recovery algorithm", 1984): each
+    process numbers its checkpoints with a logical index piggybacked on
+    every message, and a message from a later index forces a checkpoint
+    first.  Domino-effect free (no useless checkpoints), but hidden
+    doubled dependencies remain: it does {e not} ensure RDT. *)
+
+include Protocol.S

@@ -1,0 +1,7 @@
+(** The paper's protocol (Figure 6): transitive dependency vector plus
+    the [sent_to], [simple] and [causal] knowledge, forcing a checkpoint
+    exactly when an arriving message would create an untrackable
+    dependency (conditions C1 or C2).  The most sparing RDT protocol in
+    the registry. *)
+
+include Protocol.S

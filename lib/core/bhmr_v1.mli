@@ -1,0 +1,7 @@
+(** First weaker variant of the paper's protocol (Section 5.1, suggested
+    by Y.-M. Wang): drops the [simple] array and replaces C2 with C2', a
+    causal chain returning to its own sending interval with any new
+    dependency.  Forces at least as often as {!Bhmr}, piggybacks [n]
+    fewer bits. *)
+
+include Protocol.S

@@ -1,0 +1,5 @@
+(** Second weaker variant of the paper's protocol (Section 5.1): drops C2
+    entirely and holds the diagonal of the [causal] matrix permanently
+    false, so C1 also covers the chains C2 used to break. *)
+
+include Protocol.S

@@ -1,0 +1,5 @@
+(** Checkpoint-After-Send (Wu & Fuchs): every send is immediately
+    followed by a forced checkpoint, so every message chain is causal and
+    RDT holds trivially. *)
+
+include Protocol.S

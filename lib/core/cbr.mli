@@ -1,0 +1,6 @@
+(** Checkpoint-Before-Receive (after Russell): every delivery lands in a
+    fresh checkpoint interval, so no event precedes a delivery within its
+    interval and RDT holds trivially — at the price of (almost) one
+    forced checkpoint per delivery. *)
+
+include Protocol.S

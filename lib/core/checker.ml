@@ -3,6 +3,7 @@ module Rgraph = Rdt_pattern.Rgraph
 module Tdv = Rdt_pattern.Tdv
 module Chains = Rdt_pattern.Chains
 module Ptypes = Rdt_pattern.Types
+module Online = Rdt_check.Online
 
 type violation = {
   from_ckpt : Ptypes.ckpt_id;
@@ -12,9 +13,38 @@ type violation = {
 
 type units = R_dependencies | Cm_paths
 
-type report = { rdt : bool; violations : violation list; checked : int; units : units }
+type algo = [ `Rgraph | `Chains | `Doubling | `Online ]
+
+type report = {
+  algo : algo;
+  rdt : bool;
+  violations : violation list;
+  checked : int;
+  units : units;
+  first_violation : int option;
+  seconds : float;
+}
 
 let max_reported = 20
+
+let algo_name = function
+  | `Rgraph -> "rgraph"
+  | `Chains -> "chains"
+  | `Doubling -> "doubling"
+  | `Online -> "online"
+
+let all_algos : algo list = [ `Rgraph; `Chains; `Doubling; `Online ]
+
+let algo_of_string s =
+  match String.lowercase_ascii s with
+  | "rgraph" | "rgraph_tdv" | "tdv" -> Ok `Rgraph
+  | "chains" -> Ok `Chains
+  | "doubling" -> Ok `Doubling
+  | "online" -> Ok `Online
+  | _ ->
+      Error
+        (Printf.sprintf "unknown checker algorithm %S (expected rgraph, chains, doubling or online)"
+           s)
 
 let pp_violation ppf v =
   match v.tracked with
@@ -40,7 +70,7 @@ let pp_report ppf r =
    for i <> j, and x* <= y for i = j (a same-process R-path backwards in
    time — C_{k,z} ~> C_{k,z-1} — is never trackable, Section 4.1.2).
    Dependencies that do not exist are never checked: x* = -1. *)
-let check_with ~trackable pat =
+let check_with ~algo ~trackable pat =
   let g = Rgraph.build pat in
   let n = Pattern.n pat in
   let violations = ref [] in
@@ -57,15 +87,23 @@ let check_with ~trackable pat =
             if !count <= max_reported then
               violations :=
                 (* no TDV witness at this level: the trackability oracle
-                   is abstract; [check] fills the entry in afterwards *)
+                   is abstract; the rgraph algo fills the entry in
+                   afterwards *)
                 { from_ckpt = (i, x_star); to_ckpt = (j, y); tracked = None } :: !violations
           end
         end
       done
     done
   done;
-  { rdt = !count = 0; violations = List.rev !violations; checked = !checked;
-    units = R_dependencies }
+  {
+    algo;
+    rdt = !count = 0;
+    violations = List.rev !violations;
+    checked = !checked;
+    units = R_dependencies;
+    first_violation = None;
+    seconds = 0.;
+  }
 
 let meter name checked f =
   Rdt_obs.Meter.time Rdt_obs.Meter.default name (fun () ->
@@ -73,10 +111,10 @@ let meter name checked f =
       Rdt_obs.Meter.add Rdt_obs.Meter.default checked r.checked;
       r)
 
-let check ?tdv pat =
+let run_rgraph ?tdv pat =
   meter "checker.rgraph_tdv" "checker.dependencies" @@ fun () ->
   let tdv = match tdv with Some t -> t | None -> Tdv.compute pat in
-  let report = check_with ~trackable:(fun a b -> Tdv.trackable tdv a b) pat in
+  let report = check_with ~algo:`Rgraph ~trackable:(fun a b -> Tdv.trackable tdv a b) pat in
   let violations =
     List.map
       (fun v ->
@@ -86,11 +124,11 @@ let check ?tdv pat =
   in
   { report with violations }
 
-let check_chains pat =
+let run_chains pat =
   meter "checker.chains" "checker.dependencies" @@ fun () ->
-  check_with ~trackable:(fun a b -> Chains.trackable pat a b) pat
+  check_with ~algo:`Chains ~trackable:(fun a b -> Chains.trackable pat a b) pat
 
-let check_doubling pat =
+let run_doubling pat =
   meter "checker.doubling" "checker.cm_paths" @@ fun () ->
   let tdv = Tdv.compute pat in
   let cm = Chains.cm_paths pat in
@@ -104,7 +142,52 @@ let check_doubling pat =
            { from_ckpt = p.origin; to_ckpt = p.target; tracked = Some (Tdv.at tdv p.target).(i) })
          undoubled)
   in
-  { rdt = undoubled = []; violations; checked = List.length cm; units = Cm_paths }
+  {
+    algo = `Doubling;
+    rdt = undoubled = [];
+    violations;
+    checked = List.length cm;
+    units = Cm_paths;
+    first_violation = None;
+    seconds = 0.;
+  }
+
+let run_online pat =
+  meter "checker.online" "checker.dependencies" @@ fun () ->
+  let eng = Online.check_pattern pat in
+  Rdt_obs.Meter.add Rdt_obs.Meter.default "checker.online_events" (Online.events_seen eng);
+  let violations =
+    Online.violations eng
+    |> List.filteri (fun k _ -> k < max_reported)
+    |> List.map (fun (v : Online.violation) ->
+           { from_ckpt = v.from_ckpt; to_ckpt = v.to_ckpt; tracked = Some v.tracked })
+  in
+  {
+    algo = `Online;
+    rdt = Online.rdt_so_far eng;
+    violations;
+    checked = Online.checked eng;
+    units = R_dependencies;
+    first_violation = Online.first_violation eng;
+    seconds = 0.;
+  }
+
+let run ?(algo = `Rgraph) ?tdv pat =
+  let t0 = Unix.gettimeofday () in
+  let r =
+    match algo with
+    | `Rgraph -> run_rgraph ?tdv pat
+    | `Chains -> run_chains pat
+    | `Doubling -> run_doubling pat
+    | `Online -> run_online pat
+  in
+  { r with seconds = Unix.gettimeofday () -. t0 }
+
+let check ?tdv pat = run ~algo:`Rgraph ?tdv pat
+
+let check_chains pat = run ~algo:`Chains pat
+
+let check_doubling pat = run ~algo:`Doubling pat
 
 let strict_gaps pat =
   let n = Pattern.n pat in

@@ -1,4 +1,4 @@
-(** Offline RDT verification.
+(** RDT verification — one entry point, four algorithms.
 
     Verifies Theorem 4.4 on a concrete pattern: every R-path
     [C_{i,x} ~> C_{j,y}] of the rollback-dependency graph is on-line
@@ -6,14 +6,18 @@
     (recomputed offline by {!Rdt_pattern.Tdv}) satisfies
     [TDV_{j,y}.(i) >= x].
 
-    Three independent verdicts are available:
-    - {!check}: R-graph reachability vs TDV replay (the primary check);
-    - {!check_chains}: R-graph reachability vs direct causal-chain search,
+    {!run} selects between four independent verdicts:
+    - [`Rgraph]: R-graph reachability vs TDV replay (the primary offline
+      check, and the default);
+    - [`Chains]: R-graph reachability vs direct causal-chain search,
       bypassing the TDV mechanism entirely;
-    - {!check_doubling}: the visible characterization — no undoubled
-      causal-message Z-path.
+    - [`Doubling]: the visible characterization — no undoubled
+      causal-message Z-path;
+    - [`Online]: the incremental engine ({!Rdt_check.Online}) streaming
+      the pattern's events, maintaining reachability and TDV state
+      event by event.
 
-    The test suite asserts that all three agree on every pattern. *)
+    The test suite asserts that all four agree on every pattern. *)
 
 type violation = {
   from_ckpt : Rdt_pattern.Types.ckpt_id;
@@ -25,32 +29,57 @@ type violation = {
           a fabricated entry) *)
 }
 
-(** What {!report.checked} counts: {!check} and {!check_chains} count
-    rollback dependencies (one per checkpoint pair [(C_{j,y}, P_i)] with a
-    real R-path); {!check_doubling} enumerates causal-message paths, a
+(** What {!report.checked} counts: [`Rgraph], [`Chains] and [`Online]
+    count rollback dependencies (one per checkpoint pair [(C_{j,y}, P_i)]
+    with a real R-path); [`Doubling] enumerates causal-message paths, a
     different population.  The unit is carried in the report so the counts
     are never cross-compared or printed as if commensurable. *)
 type units = R_dependencies | Cm_paths
 
+type algo = [ `Rgraph | `Chains | `Doubling | `Online ]
+
 type report = {
+  algo : algo;  (** which algorithm produced this report *)
   rdt : bool;
   violations : violation list;  (** capped at {!max_reported} *)
-  checked : int;
+  checked : int;  (** witness count, in {!units} *)
   units : units;
+  first_violation : int option;
+      (** [`Online] only: index of the pattern event at which the verdict
+          first became violated; [None] for the offline algorithms (they
+          have no event order) and for RDT patterns *)
+  seconds : float;  (** wall-clock cost of this verdict *)
 }
 
 val max_reported : int
 
+val run : ?algo:algo -> ?tdv:Rdt_pattern.Tdv.t -> Rdt_pattern.Pattern.t -> report
+(** [run ~algo pat] verifies [pat] with the selected algorithm
+    (default [`Rgraph]).  [tdv] can be supplied to reuse a replay (used
+    by [`Rgraph] only).  [`Rgraph] is O(V·E/64 + V·n·log V); [`Online]
+    is O(events) amortized. *)
+
+val algo_name : algo -> string
+(** ["rgraph"], ["chains"], ["doubling"], ["online"]. *)
+
+val algo_of_string : string -> (algo, string) result
+(** Inverse of {!algo_name} (case-insensitive; also accepts the legacy
+    spellings ["rgraph_tdv"] and ["tdv"] for [`Rgraph]). *)
+
+val all_algos : algo list
+(** Every algorithm, in the order reports are conventionally printed. *)
+
 val check : ?tdv:Rdt_pattern.Tdv.t -> Rdt_pattern.Pattern.t -> report
-(** Full verification; [tdv] can be supplied to reuse a replay.
-    O(V·E/64 + V·n·log V). *)
+[@@ocaml.deprecated "Use Checker.run ~algo:`Rgraph instead."]
+(** @deprecated Thin wrapper for [run ~algo:`Rgraph]. *)
 
 val check_chains : Rdt_pattern.Pattern.t -> report
-(** Verification with trackability recomputed by causal-chain search. *)
+[@@ocaml.deprecated "Use Checker.run ~algo:`Chains instead."]
+(** @deprecated Thin wrapper for [run ~algo:`Chains]. *)
 
 val check_doubling : Rdt_pattern.Pattern.t -> report
-(** Verification through the CM-path doubling characterization;
-    [checked] counts CM-paths ([units = Cm_paths]). *)
+[@@ocaml.deprecated "Use Checker.run ~algo:`Doubling instead."]
+(** @deprecated Thin wrapper for [run ~algo:`Doubling]. *)
 
 val strict_gaps : Rdt_pattern.Pattern.t -> int
 (** A probe into a definitional subtlety.  Definition 3.3 read literally

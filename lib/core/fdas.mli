@@ -1,0 +1,7 @@
+(** Wang's Fixed-Dependency-After-Send: the dependency vector of an
+    interval is frozen after the interval's first send; a message
+    carrying a new dependency forces a checkpoint only if the process has
+    already sent in the current interval.  The reference protocol the
+    simulation study normalises against. *)
+
+include Protocol.S

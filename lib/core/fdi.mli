@@ -1,0 +1,6 @@
+(** Fixed-Dependency-Interval: the dependency vector of an interval is
+    frozen at the interval's first event, so any arriving message
+    carrying a new dependency forces a checkpoint.  Strictly more
+    conservative than {!Fdas}. *)
+
+include Protocol.S

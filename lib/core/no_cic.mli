@@ -1,0 +1,6 @@
+(** The negative control, registered as ["none"]: independent
+    (uncoordinated) checkpointing that never forces a checkpoint and
+    piggybacks nothing.  Runs under it generally violate RDT and can
+    exhibit the domino effect. *)
+
+include Protocol.S

@@ -1,0 +1,5 @@
+(** No-Receive-After-Send (Russell): within an interval all deliveries
+    precede all sends, so no non-causal junction can form and RDT
+    holds. *)
+
+include Protocol.S

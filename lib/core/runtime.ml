@@ -21,6 +21,7 @@ type config = {
   faults : Faults.spec;
   transport : Transport.params option;
   trace : Trace.t;
+  online : bool;
 }
 
 let default_config env protocol =
@@ -36,6 +37,25 @@ let default_config env protocol =
     faults = Faults.none;
     transport = None;
     trace = Trace.null;
+    online = false;
+  }
+
+let configure ?(n = 8) ?(seed = 1) ?(messages = 2000) ?(channel = Channel.Uniform (5, 100))
+    ?(basic_period = (300, 700)) ?(max_time = max_int / 2) ?(faults = Faults.none) ?transport
+    ?(trace = Trace.null) ?(online = false) env protocol =
+  {
+    n;
+    seed;
+    env;
+    protocol;
+    channel;
+    basic_period;
+    max_messages = messages;
+    max_time;
+    faults;
+    transport;
+    trace;
+    online;
   }
 
 type result = {
@@ -44,6 +64,7 @@ type result = {
   predicate_counts : (string * int) list;
   hierarchy_violations : (string * string) list;
   transport : Transport.stats option;
+  online : Rdt_check.Online.summary option;
 }
 
 (* Implications expected among the named predicates (weaker => stronger in
@@ -251,7 +272,7 @@ let run_reliable cfg =
   let hierarchy_violations =
     Hashtbl.fold (fun k () acc -> k :: acc) violations [] |> List.sort compare
   in
-  { pattern; metrics; predicate_counts; hierarchy_violations; transport = None }
+  { pattern; metrics; predicate_counts; hierarchy_violations; transport = None; online = None }
 
 (* ------------------------------------------------------------------ *)
 (* The faulty path: lossy network + reliable-delivery transport         *)
@@ -500,8 +521,16 @@ let run_faulty cfg params =
     predicate_counts;
     hierarchy_violations;
     transport = Some (Transport.stats tp);
+    online = None;
   }
 
 let run cfg =
   validate_config cfg;
-  match cfg.transport with None -> run_reliable cfg | Some params -> run_faulty cfg params
+  let engine = if cfg.online then Some (Rdt_check.Online.create ~n:cfg.n ()) else None in
+  let cfg =
+    match engine with
+    | None -> cfg
+    | Some e -> { cfg with trace = Trace.tee cfg.trace (Rdt_check.Online.observer e) }
+  in
+  let r = match cfg.transport with None -> run_reliable cfg | Some params -> run_faulty cfg params in
+  { r with online = Option.map Rdt_check.Online.summary engine }

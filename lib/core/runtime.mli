@@ -45,13 +45,37 @@ type config = {
           Records sends, deliveries, checkpoints (with the predicates that
           fired for forced ones), and — on the transport path — drops,
           retransmissions and undeliverable messages *)
+  online : bool;
+      (** run an incremental {!Rdt_check.Online} checker alongside the
+          simulation (tee'd into the trace stream), reporting the verdict
+          and the first-violation event index in the result.  Costs one
+          engine update per traced event; [false] by default *)
 }
 
 val default_config : Rdt_dist.Env.t -> Protocol.t -> config
 (** 8 processes, seed 1, uniform channel delays in [\[5; 100\]], basic
     period in [\[300; 700\]], 2000 messages, no faults, no transport, no
-    tracing.  Fields are meant to be overridden with
+    tracing, no online checker.  Fields are meant to be overridden with
     [{ (default_config e p) with ... }]. *)
+
+val configure :
+  ?n:int ->
+  ?seed:int ->
+  ?messages:int ->
+  ?channel:Rdt_dist.Channel.spec ->
+  ?basic_period:int * int ->
+  ?max_time:int ->
+  ?faults:Rdt_dist.Faults.spec ->
+  ?transport:Rdt_dist.Transport.params ->
+  ?trace:Rdt_obs.Trace.t ->
+  ?online:bool ->
+  Rdt_dist.Env.t ->
+  Protocol.t ->
+  config
+(** Labelled constructor over {!default_config}: every optional argument
+    defaults to the corresponding default field, so
+    [configure ~seed ~trace env protocol] reads the same across
+    {!Rdt_core.Runtime}, [Rdt_failures.Crash_sim] and the harness. *)
 
 type result = {
   pattern : Rdt_pattern.Pattern.t;
@@ -67,6 +91,10 @@ type result = {
   transport : Rdt_dist.Transport.stats option;
       (** retransmission/ack/drop accounting; [None] on the reliable
           path *)
+  online : Rdt_check.Online.summary option;
+      (** the incremental checker's verdict after the last event, with
+          the index of the first event whose prefix violated RDT;
+          [Some _] iff the config set [online] *)
 }
 
 val run : config -> result

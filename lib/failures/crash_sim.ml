@@ -43,6 +43,24 @@ let default_config env protocol =
     trace = Trace.null;
   }
 
+let configure ?(n = 8) ?(seed = 1) ?(messages = 2000) ?(channel = Channel.Uniform (5, 100))
+    ?(basic_period = (300, 700)) ?(max_time = max_int / 2) ?(crashes = [])
+    ?(faults = Faults.none) ?transport ?(trace = Trace.null) env protocol =
+  {
+    n;
+    seed;
+    env;
+    protocol;
+    channel;
+    basic_period;
+    max_messages = messages;
+    max_time;
+    crashes;
+    faults;
+    transport;
+    trace;
+  }
+
 type recovery = {
   crash : crash;
   line : int array;

@@ -76,6 +76,24 @@ val default_config : Rdt_dist.Env.t -> Rdt_core.Protocol.t -> config
 (** Same defaults as {!Rdt_core.Runtime.default_config}, no crashes, no
     faults, no transport. *)
 
+val configure :
+  ?n:int ->
+  ?seed:int ->
+  ?messages:int ->
+  ?channel:Rdt_dist.Channel.spec ->
+  ?basic_period:int * int ->
+  ?max_time:int ->
+  ?crashes:crash list ->
+  ?faults:Rdt_dist.Faults.spec ->
+  ?transport:Rdt_dist.Transport.params ->
+  ?trace:Rdt_obs.Trace.t ->
+  Rdt_dist.Env.t ->
+  Rdt_core.Protocol.t ->
+  config
+(** Labelled constructor over {!default_config}, mirroring
+    {!Rdt_core.Runtime.configure}: every optional argument defaults to
+    the corresponding default field. *)
+
 type recovery = {
   crash : crash;
   line : int array;  (** the recovery line rolled back to *)

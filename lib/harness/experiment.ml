@@ -48,9 +48,10 @@ let run_once w protocol ~seed =
       faults = w.faults;
       transport = w.transport;
       trace = Rdt_obs.Trace.null;
+      online = false;
     }
 
-let verify_rdt (r : Runtime.result) = (Rdt_core.Checker.check r.Runtime.pattern).Rdt_core.Checker.rdt
+let verify_rdt (r : Runtime.result) = (Rdt_core.Checker.run r.Runtime.pattern).Rdt_core.Checker.rdt
 
 type aggregate = {
   forced : Stats.t;

@@ -781,6 +781,63 @@ let table_faults ?jobs ?report ?(seeds = Experiment.quick_seeds) () =
     drops;
   t
 
+(* ------------------------------------------------------------------ *)
+(* BENCH-ONLINE: amortized per-event cost of the incremental checker    *)
+(* ------------------------------------------------------------------ *)
+
+let table_online ?report ?(min_events = 5_000) () =
+  let protocol = Registry.find_exn "bhmr" in
+  let env = Rdt_workloads.Registry.find_exn "random" in
+  (* one long run: the trace carries >= [min_events] events (every
+     message is one send + one delivery, plus checkpoints) *)
+  let tr = Rdt_obs.Trace.ring ~capacity:(8 * min_events) in
+  let r =
+    Runtime.run (Runtime.configure ~n:8 ~seed:1 ~messages:(min_events / 2) ~trace:tr env protocol)
+  in
+  let events = Rdt_obs.Trace.events tr in
+  let nev = List.length events in
+  (* offline cost of one full re-check, the unit of the "re-check after
+     every event" strategy the online engine replaces *)
+  let t0 = Unix.gettimeofday () in
+  let off = Rdt_core.Checker.run r.Runtime.pattern in
+  let offline_s = Unix.gettimeofday () -. t0 in
+  (* online: stream the trace through a fresh engine, one event at a
+     time; also exercises the metered pattern-mode entry point so the
+     [checker.online] span and [checker.online_events] counter land in
+     the report *)
+  let t0 = Unix.gettimeofday () in
+  let verdict =
+    match Rdt_check.Online.check_trace events with
+    | Ok t -> Rdt_check.Online.rdt_so_far t
+    | Error e -> invalid_arg ("Experiments.table_online: inconsistent trace: " ^ e)
+  in
+  let online_s = Unix.gettimeofday () -. t0 in
+  let rep = Rdt_core.Checker.run ~algo:`Online r.Runtime.pattern in
+  assert (rep.Rdt_core.Checker.rdt = off.Rdt_core.Checker.rdt && verdict = off.Rdt_core.Checker.rdt);
+  let ns_per_event = 1e9 *. online_s /. float_of_int (max 1 nev) in
+  (* re-checking offline after every event costs ~[nev] full checks (the
+     final-pattern check as the per-check unit); amortized online must
+     beat it by orders of magnitude *)
+  let speedup = float_of_int nev *. offline_s /. max 1e-9 online_s in
+  (match report with
+  | None -> ()
+  | Some rp ->
+      Bench_report.add rp ~table:"BENCH-ONLINE" ~protocol:"bhmr" ~env:"random" ~seed:1
+        ~seconds:online_s;
+      Bench_report.add_micro rp ~name:"online.ns_per_event" ~ns:ns_per_event;
+      Bench_report.add_micro rp ~name:"online.offline_recheck_ns"
+        ~ns:(1e9 *. offline_s);
+      Bench_report.add_micro rp ~name:"online.speedup_vs_offline" ~ns:speedup);
+  let t = Table.create ~header:[ "events"; "ns/event"; "offline check (ms)"; "speedup" ] in
+  Table.add_row t
+    [
+      string_of_int nev;
+      Table.cell_f ns_per_event;
+      Table.cell_f (1e3 *. offline_s);
+      Table.cell_f speedup;
+    ];
+  t
+
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   let t0 = Unix.gettimeofday () in
@@ -815,5 +872,8 @@ let run_all ?(quick = false) ?jobs ?report () =
   Format.printf
     "@.== TAB-FAULTS: forced-checkpoint inflation and retransmission cost vs drop rate (bhmr, n=6) ==@.";
   Table.print (table_faults ?jobs ?report ~seeds:(if quick then [ 1 ] else Experiment.quick_seeds) ());
+  Format.printf
+    "@.== BENCH-ONLINE: amortized per-event cost of the incremental checker (bhmr, n=8) ==@.";
+  Table.print (table_online ?report ());
   (match report with Some r -> Bench_report.set_wall r (Unix.gettimeofday () -. t0) | None -> ());
   Format.print_flush ()

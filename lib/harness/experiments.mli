@@ -109,6 +109,17 @@ val table_faults : ?jobs:int -> ?report:Bench_report.t -> ?seeds:int list -> uni
     as undeliverable (0 at these rates).  The drop = 0 row isolates the
     effect of the transport's FIFO links alone. *)
 
+val table_online : ?report:Bench_report.t -> ?min_events:int -> unit -> Table.t
+(** BENCH-ONLINE (extension): amortized per-event cost of the
+    incremental online checker on a >= [min_events]-event trace (default
+    5000), against the cost of one full offline re-check — the unit of
+    the "re-check after every event" strategy it replaces.  With
+    [?report], records the [BENCH-ONLINE] cell plus the
+    [online.ns_per_event], [online.offline_recheck_ns] and
+    [online.speedup_vs_offline] micro entries, and the streamed events
+    feed the [checker.online] span and [checker.online_events] counter
+    via the metered {!Rdt_core.Checker.run} entry point. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit

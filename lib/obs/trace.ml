@@ -47,21 +47,31 @@ type ring_state = { cap : int; buf : event option array; mutable head : int }
 (* [head] is the slot of the next write; the ring holds the last
    [min count cap] events ending at [head - 1]. *)
 
-type sink = Null | Ring of ring_state | Chan of out_channel
-
 type t = { sink : sink; mutable emitted : int }
+
+and sink =
+  | Null
+  | Ring of ring_state
+  | Chan of out_channel
+  | Fun of (event -> unit)
+  | Tee of t * t
 
 let null = { sink = Null; emitted = 0 }
 
-let on t = t.sink <> Null
+let rec on t =
+  match t.sink with Null -> false | Tee (a, b) -> on a || on b | Ring _ | Chan _ | Fun _ -> true
 
-let count t = t.emitted
+let rec count t = match t.sink with Tee (a, b) -> count a + count b | _ -> t.emitted
 
 let ring ~capacity =
   if capacity <= 0 then invalid_arg "Trace.ring: capacity must be positive";
   { sink = Ring { cap = capacity; buf = Array.make capacity None; head = 0 }; emitted = 0 }
 
 let to_channel oc = { sink = Chan oc; emitted = 0 }
+
+let observer f = { sink = Fun f; emitted = 0 }
+
+let tee a b = { sink = Tee (a, b); emitted = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* JSONL encoding                                                      *)
@@ -128,9 +138,12 @@ let encode ev =
 
 let pp_event ppf ev = Format.pp_print_string ppf (encode ev)
 
-let emit t ev =
+let rec emit t ev =
   match t.sink with
   | Null -> ()
+  | Tee (a, b) ->
+      emit a ev;
+      emit b ev
   | Ring r ->
       r.buf.(r.head) <- Some ev;
       r.head <- (r.head + 1) mod r.cap;
@@ -139,10 +152,14 @@ let emit t ev =
       output_string oc (encode ev);
       output_char oc '\n';
       t.emitted <- t.emitted + 1
+  | Fun f ->
+      f ev;
+      t.emitted <- t.emitted + 1
 
-let events t =
+let rec events t =
   match t.sink with
-  | Null | Chan _ -> []
+  | Null | Chan _ | Fun _ -> []
+  | Tee (a, b) -> events a @ events b
   | Ring r ->
       let kept = min t.emitted r.cap in
       let start = (r.head - kept + r.cap) mod r.cap in

@@ -99,6 +99,17 @@ val to_channel : out_channel -> t
 (** Stream JSONL to the channel, one event per line (the caller owns the
     channel and its lifetime). *)
 
+val observer : (event -> unit) -> t
+(** [observer f] is a recorder that calls [f] on every emitted event and
+    retains nothing.  This is how live analyses (the online RDT checker)
+    subscribe to a run without the instrumentation sites knowing about
+    them. *)
+
+val tee : t -> t -> t
+(** [tee a b] duplicates every emission to both recorders.  {!on} is the
+    disjunction, {!count} the sum, {!events} the concatenation of the
+    branches' retained events. *)
+
 (** {1 JSONL codec} *)
 
 val encode : event -> string

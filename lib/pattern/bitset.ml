@@ -1,4 +1,4 @@
-type t = { words : Bytes.t; capacity : int }
+type t = { mutable words : Bytes.t; mutable capacity : int }
 
 (* Bytes-based storage gives compact, GC-friendly flat data; we address
    64-bit words through Bytes.{get,set}_int64_le. *)
@@ -10,6 +10,18 @@ let create n =
   { words = Bytes.make (8 * words_for n) '\000'; capacity = n }
 
 let capacity t = t.capacity
+
+let ensure_capacity t n =
+  if n > t.capacity then begin
+    let old_bytes = Bytes.length t.words in
+    let new_bytes = 8 * words_for n in
+    if new_bytes > old_bytes then begin
+      let words = Bytes.make new_bytes '\000' in
+      Bytes.blit t.words 0 words 0 old_bytes;
+      t.words <- words
+    end;
+    t.capacity <- n
+  end
 
 let check t i =
   if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
@@ -34,14 +46,37 @@ let remove t i =
   set_word t w (Int64.logand (get_word t w) (Int64.lognot (Int64.shift_left 1L b)))
 
 let union_into dst src =
-  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  if src.capacity > dst.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
   let changed = ref false in
-  for w = 0 to words_for dst.capacity - 1 do
+  for w = 0 to words_for src.capacity - 1 do
     let d = get_word dst w and s = get_word src w in
     let u = Int64.logor d s in
     if u <> d then begin
       set_word dst w u;
       changed := true
+    end
+  done;
+  !changed
+
+let bits_of_word f base word =
+  let word = ref word in
+  while !word <> 0L do
+    let b = Int64.logand !word (Int64.neg !word) in
+    let rec log2 v acc = if v = 1L then acc else log2 (Int64.shift_right_logical v 1) (acc + 1) in
+    f (base + log2 b 0);
+    word := Int64.logxor !word b
+  done
+
+let union_into_iter dst src ~f =
+  if src.capacity > dst.capacity then invalid_arg "Bitset.union_into_iter: capacity mismatch";
+  let changed = ref false in
+  for w = 0 to words_for src.capacity - 1 do
+    let d = get_word dst w and s = get_word src w in
+    let delta = Int64.logand s (Int64.lognot d) in
+    if delta <> 0L then begin
+      set_word dst w (Int64.logor d s);
+      changed := true;
+      bits_of_word f (64 * w) delta
     end
   done;
   !changed

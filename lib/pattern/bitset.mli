@@ -11,6 +11,12 @@ val create : int -> t
 
 val capacity : t -> int
 
+val ensure_capacity : t -> int -> unit
+(** [ensure_capacity t n] grows the universe of [t] to at least
+    [\[0, n)], keeping every member.  A no-op when [n <= capacity t];
+    never shrinks.  Lets incremental analyses (the online checker) add
+    nodes to live reachability sets without rebuilding them. *)
+
 val mem : t -> int -> bool
 
 val add : t -> int -> unit
@@ -19,8 +25,15 @@ val remove : t -> int -> unit
 
 val union_into : t -> t -> bool
 (** [union_into dst src] adds every element of [src] to [dst]; returns
-    [true] iff [dst] changed.  @raise Invalid_argument on capacity
-    mismatch. *)
+    [true] iff [dst] changed.  @raise Invalid_argument if [src] has a
+    larger capacity than [dst]. *)
+
+val union_into_iter : t -> t -> f:(int -> unit) -> bool
+(** Like {!union_into}, but calls [f i] for each element [i] of [src]
+    that was {e not} already in [dst] (the delta).  Each element is
+    reported exactly once over any sequence of unions into [dst], which
+    is what gives incremental transitive closure its amortized bound.
+    @raise Invalid_argument if [src] has a larger capacity than [dst]. *)
 
 val copy : t -> t
 

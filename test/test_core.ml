@@ -299,7 +299,7 @@ let test_rdt_matrix () =
       List.iter
         (fun pname ->
           let r = run ~envname ~n:4 ~messages:250 ~seed:5 pname in
-          let report = Checker.check r.Runtime.pattern in
+          let report = Checker.run r.Runtime.pattern in
           if not report.Checker.rdt then
             Alcotest.failf "%s on %s violated RDT: %a" pname envname Checker.pp_report report)
         protocols_under_test)
@@ -309,9 +309,9 @@ let test_rdt_checkers_agree_on_protocol_runs () =
   List.iter
     (fun pname ->
       let r = run ~n:4 ~messages:200 pname in
-      let a = (Checker.check r.Runtime.pattern).Checker.rdt in
-      let b = (Checker.check_chains r.Runtime.pattern).Checker.rdt in
-      let c = (Checker.check_doubling r.Runtime.pattern).Checker.rdt in
+      let a = (Checker.run r.Runtime.pattern).Checker.rdt in
+      let b = (Checker.run ~algo:`Chains r.Runtime.pattern).Checker.rdt in
+      let c = (Checker.run ~algo:`Doubling r.Runtime.pattern).Checker.rdt in
       check (pname ^ ": checkers agree") true (a = b && b = c && a = true))
     protocols_under_test
 
@@ -319,11 +319,11 @@ let test_none_violates_rdt () =
   (* independent checkpointing on a chatty workload must create hidden
      dependencies *)
   let r = run ~envname:"client-server" ~n:5 ~messages:400 "none" in
-  let report = Checker.check r.Runtime.pattern in
+  let report = Checker.run r.Runtime.pattern in
   check "RDT violated" false report.Checker.rdt;
   check "violations reported" true (report.Checker.violations <> []);
-  check "chains checker agrees" false (Checker.check_chains r.Runtime.pattern).Checker.rdt;
-  check "doubling checker agrees" false (Checker.check_doubling r.Runtime.pattern).Checker.rdt
+  check "chains checker agrees" false (Checker.run ~algo:`Chains r.Runtime.pattern).Checker.rdt;
+  check "doubling checker agrees" false (Checker.run ~algo:`Doubling r.Runtime.pattern).Checker.rdt
 
 let test_online_tdv_consistent () =
   List.iter
@@ -364,7 +364,7 @@ let test_bcs_no_useless_but_not_rdt () =
         (fun seed ->
           if not !violated then
             let r = run ~envname ~n:5 ~messages:400 ~seed "bcs" in
-            if not (Checker.check r.Runtime.pattern).Checker.rdt then violated := true)
+            if not (Checker.run r.Runtime.pattern).Checker.rdt then violated := true)
         [ 1; 2; 3 ])
     environments;
   check "bcs violates RDT somewhere" true !violated
@@ -542,7 +542,7 @@ let test_strict_definition_gap () =
       let r = run ~envname:"random" ~n:5 ~messages:300 ~seed "bhmr" in
       bhmr_gaps := !bhmr_gaps + Checker.strict_gaps r.Runtime.pattern;
       (* and yet the RDT property itself holds *)
-      check "RDT still holds" true (Checker.check r.Runtime.pattern).Checker.rdt)
+      check "RDT still holds" true (Checker.run r.Runtime.pattern).Checker.rdt)
     [ 1; 2; 3 ];
   check "bhmr has strict gaps" true (!bhmr_gaps > 0)
 
@@ -584,15 +584,15 @@ let test_wang_direct_calculations () =
 let checkers_agree_on_random_patterns =
   QCheck.Test.make ~name:"three RDT checkers agree on random patterns" ~count:120
     Rdt_test_helpers.Gen.pattern_arbitrary (fun pat ->
-      let a = (Checker.check pat).Checker.rdt in
-      let b = (Checker.check_chains pat).Checker.rdt in
-      let c = (Checker.check_doubling pat).Checker.rdt in
+      let a = (Checker.run pat).Checker.rdt in
+      let b = (Checker.run ~algo:`Chains pat).Checker.rdt in
+      let c = (Checker.run ~algo:`Doubling pat).Checker.rdt in
       a = b && b = c)
 
 let corollary_iff_checkable =
   QCheck.Test.make ~name:"RDT implies Corollary 4.5 on random patterns" ~count:60
     Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
-      let rdt = (Checker.check pat).Checker.rdt in
+      let rdt = (Checker.run pat).Checker.rdt in
       (not rdt) || Min_gcp.corollary_holds pat)
 
 (* ------------------------------------------------------------------ *)
@@ -688,9 +688,9 @@ let string_contains s sub =
 
 let test_checker_units_and_unknown_tracked () =
   let r = run ~n:4 ~messages:250 ~seed:3 "none" in
-  let rg = Checker.check r.Runtime.pattern in
-  let ch = Checker.check_chains r.Runtime.pattern in
-  let db = Checker.check_doubling r.Runtime.pattern in
+  let rg = Checker.run r.Runtime.pattern in
+  let ch = Checker.run ~algo:`Chains r.Runtime.pattern in
+  let db = Checker.run ~algo:`Doubling r.Runtime.pattern in
   check "baseline violates RDT" true (not rg.Checker.rdt);
   check "verdicts agree" true (rg.Checker.rdt = ch.Checker.rdt && ch.Checker.rdt = db.Checker.rdt);
   (* what [checked] counts is carried explicitly, never cross-compared *)

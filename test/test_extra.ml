@@ -185,12 +185,12 @@ let test_checker_report_output () =
         max_messages = 500;
       }
   in
-  let rep = Checker.check r.pattern in
+  let rep = Checker.run r.pattern in
   check "violations reported" true (List.length rep.Checker.violations > 0);
   check "capped" true (List.length rep.Checker.violations <= Checker.max_reported);
   check "pp mentions VIOLATED" true (contains (fmt_str Checker.pp_report rep) "VIOLATED");
   let ok_rep =
-    Checker.check
+    Checker.run
       (Runtime.run
          {
            (Runtime.default_config (env "random") (Registry.find_exn "cbr")) with
@@ -246,7 +246,7 @@ let test_runtime_no_basic () =
       }
   in
   Alcotest.(check int) "no basic checkpoints" 0 r.metrics.Metrics.basic;
-  check "still RDT" true (Checker.check r.pattern).Checker.rdt
+  check "still RDT" true (Checker.run r.pattern).Checker.rdt
 
 let test_runtime_max_time () =
   let bhmr = Registry.find_exn "bhmr" in
@@ -293,7 +293,7 @@ let test_runtime_env_checkpoint_action () =
       }
   in
   check "env-driven checkpoints taken" true (r.metrics.Metrics.basic > 0);
-  check "rdt" true (Checker.check r.pattern).Checker.rdt
+  check "rdt" true (Checker.run r.pattern).Checker.rdt
 
 let runtime_rdt_property =
   (* random (environment, protocol, seed, n) -> RDT holds *)
@@ -313,7 +313,7 @@ let runtime_rdt_property =
             max_messages = 120;
           }
       in
-      (Checker.check r.pattern).Checker.rdt)
+      (Checker.run r.pattern).Checker.rdt)
 
 let runtime_bcs_no_useless_property =
   QCheck.Test.make ~name:"random bcs runs have no useless checkpoints" ~count:25

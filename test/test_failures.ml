@@ -39,7 +39,7 @@ let test_no_crash_baseline () =
   Alcotest.(check int) "budget delivered" 800 r.metrics.CS.messages_delivered;
   Alcotest.(check int) "nothing undone" 0 r.metrics.CS.total_events_undone;
   check "valid" true (Result.is_ok (P.validate r.pattern));
-  check "rdt" true (Checker.check r.pattern).Checker.rdt
+  check "rdt" true (Checker.run r.pattern).Checker.rdt
 
 let test_rdt_survives_crashes () =
   (* the surviving execution of an RDT protocol must satisfy RDT, with
@@ -50,7 +50,7 @@ let test_rdt_survives_crashes () =
         (fun envname ->
           let r = CS.run (config ~envname ~crashes:three_crashes pname) in
           Alcotest.(check int) (pname ^ " three recoveries") 3 (List.length r.recoveries);
-          if not (Checker.check r.pattern).Checker.rdt then
+          if not (Checker.run r.pattern).Checker.rdt then
             Alcotest.failf "%s on %s: RDT violated after recovery" pname envname;
           check (pname ^ " online tdv") true (Checker.online_tdv_consistent r.pattern);
           check (pname ^ " valid") true (Result.is_ok (P.validate r.pattern)))
@@ -105,7 +105,7 @@ let test_crash_while_idle_process () =
   let crashes = [ { CS.victim = 1; at = 1; repair_delay = 50 } ] in
   let r = CS.run (config ~crashes "bhmr") in
   check "recovered" true (List.length r.recoveries = 1);
-  check "rdt" true (Checker.check r.pattern).Checker.rdt
+  check "rdt" true (Checker.run r.pattern).Checker.rdt
 
 let test_validation () =
   Alcotest.check_raises "bad victim" (Invalid_argument "Crash_sim: victim out of range")
@@ -151,7 +151,7 @@ let test_rdt_survives_crashes_under_faults () =
         (fun envname ->
           let r = CS.run (faulty_config ~envname pname) in
           Alcotest.(check int) (pname ^ " three recoveries") 3 (List.length r.recoveries);
-          if not (Checker.check r.pattern).Checker.rdt then
+          if not (Checker.run r.pattern).Checker.rdt then
             Alcotest.failf "%s on %s: RDT violated under crashes + faults" pname envname;
           check (pname ^ " valid") true (Result.is_ok (P.validate r.pattern));
           check (pname ^ " retransmitted") true (r.metrics.CS.retransmissions > 0);
@@ -192,7 +192,7 @@ let test_transport_without_faults_matches_reliability () =
   (* packets_dropped still counts copies lost at crashed hosts, but with a
      perfect network nothing may be abandoned *)
   Alcotest.(check int) "no undeliverable" 0 r.metrics.CS.undeliverable;
-  check "rdt" true (Checker.check r.pattern).Checker.rdt;
+  check "rdt" true (Checker.run r.pattern).Checker.rdt;
   Alcotest.(check int) "pattern messages = delivered" r.metrics.CS.messages_delivered
     (P.num_messages r.pattern)
 
@@ -205,7 +205,7 @@ let crash_rdt_property =
             { CS.victim = victim mod 4; at = 1500 * (k + 1); repair_delay = 100 + (37 * k) })
       in
       let r = CS.run (config ~n:4 ~seed:(seed + 1) ~messages:400 ~crashes "bhmr") in
-      (Checker.check r.pattern).Checker.rdt
+      (Checker.run r.pattern).Checker.rdt
       && Checker.online_tdv_consistent r.pattern
       && Result.is_ok (P.validate r.pattern))
 

@@ -188,9 +188,9 @@ let test_property_grid () =
                 (label ^ ": every message delivered or undeliverable")
                 s.Transport.accepted
                 (s.Transport.delivered + s.Transport.undeliverable);
-              let c1 = Checker.check r.Runtime.pattern in
-              let c2 = Checker.check_chains r.Runtime.pattern in
-              let c3 = Checker.check_doubling r.Runtime.pattern in
+              let c1 = Checker.run r.Runtime.pattern in
+              let c2 = Checker.run ~algo:`Chains r.Runtime.pattern in
+              let c3 = Checker.run ~algo:`Doubling r.Runtime.pattern in
               check
                 (label ^ ": checkers agree")
                 true
@@ -217,7 +217,7 @@ let test_undeliverable_degradation () =
   Alcotest.(check int) "all undeliverable" s.Transport.accepted s.Transport.undeliverable;
   Alcotest.(check int) "pattern has no messages" 0
     r.Runtime.metrics.Rdt_core.Metrics.messages;
-  check "trivially RDT" true (Checker.check r.Runtime.pattern).Checker.rdt
+  check "trivially RDT" true (Checker.run r.Runtime.pattern).Checker.rdt
 
 (* ------------------------------------------------------------------ *)
 (* Determinism                                                         *)

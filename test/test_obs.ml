@@ -136,9 +136,9 @@ let runtime_config ?(n = 5) ?(messages = 150) ?(faults = Rdt_dist.Faults.none) ?
   }
 
 let three_verdicts pat =
-  ( (Checker.check pat).Checker.rdt,
-    (Checker.check_chains pat).Checker.rdt,
-    (Checker.check_doubling pat).Checker.rdt )
+  ( (Checker.run pat).Checker.rdt,
+    (Checker.run ~algo:`Chains pat).Checker.rdt,
+    (Checker.run ~algo:`Doubling pat).Checker.rdt )
 
 (* The acceptance matrix: every registry protocol on three environments
    and three seeds.  The trace must rebuild to the *same* pattern the

@@ -1,0 +1,376 @@
+(* Differential suite for the incremental online checker.
+
+   The online engine must agree with the offline checkers everywhere:
+   - pattern mode: [Online.check_pattern] (and [Checker.run ~algo:`Online])
+     reproduces the R-graph/TDV checker's verdict, dependency count and
+     violation report exactly, on random small patterns;
+   - stream mode: feeding a recorded run trace gives the offline verdict
+     of the finished pattern, across registry protocols x environments x
+     seeds, with and without network faults and crash/recovery (where the
+     engine must rebuild through Rollback/Replay events);
+   - prefix mode: after EVERY event of a live trace, [rdt_so_far] equals
+     the offline verdict of the pattern that prefix produces, and the
+     latched [first_violation] index equals the offline linear scan's. *)
+
+module P = Rdt_pattern.Pattern
+module T = Rdt_pattern.Types
+module Tdv = Rdt_pattern.Tdv
+module Checker = Rdt_core.Checker
+module Runtime = Rdt_core.Runtime
+module Registry = Rdt_core.Registry
+module Trace = Rdt_obs.Trace
+module CS = Rdt_failures.Crash_sim
+module Online = Rdt_check.Online
+
+let check = Alcotest.(check bool)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let runtime_config ?(n = 5) ?(messages = 150) ?(faults = Rdt_dist.Faults.none) ?transport
+    ~envname ~seed ~trace protocol =
+  let env = Rdt_workloads.Registry.find_exn envname in
+  {
+    (Runtime.default_config env protocol) with
+    Runtime.n;
+    seed;
+    max_messages = messages;
+    faults;
+    transport;
+    trace;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pattern mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let online_equals_rgraph_on_patterns =
+  QCheck.Test.make ~name:"online report = rgraph report on random patterns" ~count:100
+    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+      let off = Checker.run pat in
+      let on = Checker.run ~algo:`Online pat in
+      on.Checker.rdt = off.Checker.rdt
+      && on.Checker.checked = off.Checker.checked
+      && on.Checker.violations = off.Checker.violations)
+
+let online_agrees_with_all_checkers =
+  QCheck.Test.make ~name:"online verdict = chains = doubling" ~count:60
+    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+      let v = (Checker.run ~algo:`Online pat).Checker.rdt in
+      v = (Checker.run ~algo:`Chains pat).Checker.rdt
+      && v = (Checker.run ~algo:`Doubling pat).Checker.rdt)
+
+(* ------------------------------------------------------------------ *)
+(* Stream mode: live traces of full runs                               *)
+(* ------------------------------------------------------------------ *)
+
+let stream_verdict label events pat =
+  match Online.check_trace events with
+  | Error e -> Alcotest.failf "%s: online engine rejected the trace: %s" label e
+  | Ok t ->
+      let off = Checker.run pat in
+      if Online.rdt_so_far t <> off.Checker.rdt then
+        Alcotest.failf "%s: online verdict %b <> offline %b" label (Online.rdt_so_far t)
+          off.Checker.rdt;
+      if Online.checked t <> off.Checker.checked then
+        Alcotest.failf "%s: online checked %d <> offline %d" label (Online.checked t)
+          off.Checker.checked;
+      if off.Checker.rdt <> (Checker.run ~algo:`Chains pat).Checker.rdt then
+        Alcotest.failf "%s: chains disagrees" label;
+      if off.Checker.rdt <> (Checker.run ~algo:`Doubling pat).Checker.rdt then
+        Alcotest.failf "%s: doubling disagrees" label;
+      t
+
+let test_stream_matrix () =
+  List.iter
+    (fun protocol ->
+      let pname = Rdt_core.Protocol.name protocol in
+      List.iter
+        (fun envname ->
+          List.iter
+            (fun seed ->
+              let tr = Trace.ring ~capacity:100_000 in
+              let r = Runtime.run (runtime_config ~envname ~seed ~trace:tr protocol) in
+              let label = Printf.sprintf "%s/%s seed %d" pname envname seed in
+              ignore (stream_verdict label (Trace.events tr) r.Runtime.pattern))
+            [ 1; 2 ])
+        [ "random"; "group"; "client-server" ])
+    Registry.all
+
+let test_stream_under_faults () =
+  let faults =
+    {
+      Rdt_dist.Faults.drop = 0.15;
+      dup = 0.05;
+      reorder = 0.05;
+      reorder_window = 40;
+      partitions = [ { Rdt_dist.Faults.between = [ 1 ]; from_t = 1000; to_t = 2500 } ];
+    }
+  in
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun seed ->
+          let tr = Trace.ring ~capacity:200_000 in
+          let cfg =
+            runtime_config ~envname:"random" ~seed ~trace:tr ~faults
+              ~transport:Rdt_dist.Transport.default_params (Registry.find_exn pname)
+          in
+          let r = Runtime.run cfg in
+          let label = Printf.sprintf "faulty %s seed %d" pname seed in
+          let t = stream_verdict label (Trace.events tr) r.Runtime.pattern in
+          ignore t)
+        [ 1; 2; 3 ])
+    [ "bhmr"; "none" ]
+
+let test_stream_crashrun () =
+  let crashes =
+    [
+      { CS.victim = 2; at = 2000; repair_delay = 200 };
+      { CS.victim = 0; at = 4500; repair_delay = 300 };
+    ]
+  in
+  List.iter
+    (fun (pname, faults, transport) ->
+      List.iter
+        (fun seed ->
+          let tr = Trace.ring ~capacity:200_000 in
+          let p = Registry.find_exn pname in
+          let env = Rdt_workloads.Registry.find_exn "random" in
+          let r =
+            CS.run
+              {
+                (CS.default_config env p) with
+                CS.n = 5;
+                seed;
+                max_messages = 300;
+                crashes;
+                faults;
+                transport;
+                trace = tr;
+              }
+          in
+          let events = Trace.events tr in
+          check "rollbacks recorded" true
+            (List.exists (function Trace.Rollback _ -> true | _ -> false) events);
+          let label = Printf.sprintf "crashrun %s seed %d" pname seed in
+          let t = stream_verdict label events r.CS.pattern in
+          check (label ^ ": engine rebuilt through rollbacks") true (Online.rebuilds t > 0))
+        [ 1; 2; 3 ])
+    [
+      ("bhmr", Rdt_dist.Faults.none, None);
+      ("fdas", { Rdt_dist.Faults.none with drop = 0.15 }, Some Rdt_dist.Transport.default_params);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Prefix mode: the per-event verdict against an offline oracle        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pattern a (rollback-free) trace prefix produces.  A message still
+   in flight at the cut cannot be expressed by the builder (finish would
+   reject the undelivered send), but for the verdict its send is exactly
+   an internal event: no R-edge, no TDV effect, one event in the open
+   interval. *)
+let prefix_pattern ~n events =
+  let delivered = Hashtbl.create 64 in
+  List.iter
+    (fun ev -> match ev with Trace.Deliver { msg; _ } -> Hashtbl.replace delivered msg () | _ -> ())
+    events;
+  let b = P.Builder.create ~n in
+  let handles = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Send { msg; src; dst; time } ->
+          if Hashtbl.mem delivered msg then
+            Hashtbl.replace handles msg (P.Builder.send ~time b ~src ~dst)
+          else P.Builder.internal ~time b src
+      | Trace.Deliver { msg; time; _ } -> P.Builder.recv ~time b (Hashtbl.find handles msg)
+      | Trace.Internal { pid; time } -> P.Builder.internal ~time b pid
+      | Trace.Ckpt { kind = T.Initial; _ } -> ()
+      | Trace.Ckpt { pid; kind; time; tdv; _ } ->
+          ignore (P.Builder.checkpoint ~kind ?tdv ~time b pid)
+      | _ -> ())
+    events;
+  P.Builder.finish ~final_checkpoints:true b
+
+let test_prefix_oracle () =
+  (* one protocol that violates RDT and one that keeps it *)
+  List.iter
+    (fun (pname, seed) ->
+      let tr = Trace.ring ~capacity:50_000 in
+      let r =
+        Runtime.run
+          (runtime_config ~n:4 ~messages:60 ~envname:"random" ~seed ~trace:tr
+             (Registry.find_exn pname))
+      in
+      ignore r;
+      let events = Trace.events tr in
+      let t = Online.create ~n:4 () in
+      let oracle_first = ref None in
+      List.iteri
+        (fun k ev ->
+          Online.observe t ev;
+          let prefix = List.filteri (fun i _ -> i <= k) events in
+          let off = (Checker.run (prefix_pattern ~n:4 prefix)).Checker.rdt in
+          if off <> Online.rdt_so_far t then
+            Alcotest.failf "%s seed %d: prefix %d/%d: online %b <> offline %b" pname seed k
+              (List.length events) (Online.rdt_so_far t) off;
+          if !oracle_first = None && not off then oracle_first := Some k)
+        events;
+      if Online.first_violation t <> !oracle_first then
+        Alcotest.failf "%s seed %d: first violation %s <> oracle %s" pname seed
+          (match Online.first_violation t with None -> "none" | Some i -> string_of_int i)
+          (match !oracle_first with None -> "none" | Some i -> string_of_int i))
+    [ ("none", 1); ("none", 2); ("bhmr", 1) ];
+  (* the violating cell must actually violate, or the test is vacuous *)
+  let tr = Trace.ring ~capacity:50_000 in
+  let _ =
+    Runtime.run
+      (runtime_config ~n:4 ~messages:60 ~envname:"random" ~seed:1 ~trace:tr
+         (Registry.find_exn "none"))
+  in
+  match Online.check_trace (Trace.events tr) with
+  | Error e -> Alcotest.fail e
+  | Ok t -> check "none seed 1 violates" true (Online.first_violation t <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level unit tests                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* the backwards same-process R-path fixture of test_oracle, as a stream:
+   C_{0,2} ~> C_{0,1} through a Z-cycle-free zigzag; then a rollback that
+   removes the offending send and clears the live verdict while the
+   first-violation latch stays *)
+let test_rollback_retraction () =
+  let t = Online.create ~n:2 () in
+  let ev l = List.iter (Online.observe t) l in
+  ev
+    [
+      Trace.Send { msg = 2; src = 1; dst = 0; time = 10 } (* event 0 *);
+      Trace.Deliver { msg = 2; src = 1; dst = 0; time = 20 } (* 1 *);
+      Trace.Ckpt { pid = 0; index = 1; kind = T.Basic; time = 30; tdv = None; preds = [] } (* 2 *);
+      Trace.Ckpt { pid = 0; index = 2; kind = T.Basic; time = 40; tdv = None; preds = [] } (* 3 *);
+      Trace.Send { msg = 1; src = 0; dst = 1; time = 50 } (* 4 *);
+    ];
+  check "still fine before the closing delivery" true (Online.rdt_so_far t);
+  ev [ Trace.Deliver { msg = 1; src = 0; dst = 1; time = 60 } (* 5: closes the R-path *) ];
+  check "violated after delivery" false (Online.rdt_so_far t);
+  check "first violation latched at event 5" true (Online.first_violation t = Some 5);
+  check "backwards pair is a cycle" true (Online.zcycle t);
+  check "C(0,2) reaches C(0,1)" true (Online.reaches t (0, 2) (0, 1));
+  check "C(0,2) ~> C(0,1) not trackable" false (Online.trackable t (0, 2) (0, 1));
+  (* the domino cascade: P1's rollback orphans P0's delivery of m2 until
+     P0's own rollback arrives; the verdict in between is computed on the
+     cleaned state *)
+  ev [ Trace.Rollback { pid = 1; to_index = 0; time = 70 } (* 6 *) ];
+  check "m2's delivery is orphaned mid-cascade" true (Online.orphan_messages t = [ 2 ]);
+  check "verdict already clears on the cleaned state" true (Online.rdt_so_far t);
+  ev [ Trace.Rollback { pid = 0; to_index = 0; time = 71 } (* 7 *) ];
+  check "cascade complete: no orphans" true (Online.orphan_messages t = []);
+  check "verdict clear after the rollback" true (Online.rdt_so_far t);
+  check "latch survives the rollback" true (Online.first_violation t = Some 5);
+  check "two rebuilds" true (Online.rebuilds t = 2);
+  check "rolled-back checkpoint is gone" true
+    (match Online.trackable t (0, 2) (0, 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* an orphaned stream end is inconsistent, exactly like Replay.rebuild *)
+  match
+    Online.check_trace
+      [
+        Trace.Send { msg = 9; src = 0; dst = 1; time = 1 };
+        Trace.Deliver { msg = 9; src = 0; dst = 1; time = 2 };
+        Trace.Rollback { pid = 0; to_index = 0; time = 3 };
+      ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stream ending mid-cascade accepted"
+
+let test_trackable_matches_tdv () =
+  let tr = Trace.ring ~capacity:100_000 in
+  let r = Runtime.run (runtime_config ~envname:"group" ~seed:3 ~trace:tr (Registry.find_exn "bhmr")) in
+  match Online.check_trace (Trace.events tr) with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      let pat = r.Runtime.pattern in
+      let tdv = Tdv.compute pat in
+      let cks = ref [] in
+      P.iter_ckpts pat (fun c -> cks := (c.T.owner, c.T.index) :: !cks);
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if Online.trackable t a b <> Tdv.trackable tdv a b then
+                Alcotest.failf "trackable disagrees on C%s ~> C%s"
+                  (Format.asprintf "%a" T.pp_ckpt_id a)
+                  (Format.asprintf "%a" T.pp_ckpt_id b))
+            !cks)
+        !cks
+
+let test_runtime_online_field () =
+  List.iter
+    (fun (pname, seed) ->
+      let cfg =
+        {
+          (runtime_config ~envname:"random" ~seed ~trace:Trace.null (Registry.find_exn pname)) with
+          Runtime.online = true;
+        }
+      in
+      let r = Runtime.run cfg in
+      match r.Runtime.online with
+      | None -> Alcotest.fail "config asked for the online checker but the result has no summary"
+      | Some s ->
+          let off = Checker.run r.Runtime.pattern in
+          check
+            (Printf.sprintf "%s seed %d: runtime online verdict = offline" pname seed)
+            off.Checker.rdt s.Online.rdt;
+          (* only one direction: a final-RDT run may still latch a transient
+             prefix violation that a later delivery cured *)
+          if not off.Checker.rdt then
+            check
+              (Printf.sprintf "%s seed %d: violating runs carry a first-violation index" pname seed)
+              true
+              (s.Online.first_violation <> None))
+    [ ("none", 1); ("bhmr", 1) ]
+
+let test_inconsistent_streams_rejected () =
+  List.iter
+    (fun (label, events) ->
+      match Online.check_trace events with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: accepted" label)
+    [
+      ("unknown delivery", [ Trace.Deliver { msg = 3; src = 0; dst = 1; time = 5 } ]);
+      ( "undeliverable delivered",
+        [
+          Trace.Send { msg = 3; src = 0; dst = 1; time = 1 };
+          Trace.Undeliverable { msg = 3; src = 0; dst = 1; time = 2 };
+          Trace.Deliver { msg = 3; src = 0; dst = 1; time = 5 };
+        ] );
+      ( "rollback to missing checkpoint",
+        [
+          Trace.Internal { pid = 0; time = 1 };
+          Trace.Rollback { pid = 0; to_index = 2; time = 3 };
+        ] );
+      ("empty", []);
+    ]
+
+let () =
+  Alcotest.run "rdt_online"
+    [
+      ("pattern mode", [ qt online_equals_rgraph_on_patterns; qt online_agrees_with_all_checkers ]);
+      ( "stream mode",
+        [
+          Alcotest.test_case "registry x env x seed matrix" `Quick test_stream_matrix;
+          Alcotest.test_case "under network faults" `Quick test_stream_under_faults;
+          Alcotest.test_case "crash and recovery" `Quick test_stream_crashrun;
+        ] );
+      ( "per-event",
+        [
+          Alcotest.test_case "prefix verdicts = offline oracle" `Quick test_prefix_oracle;
+          Alcotest.test_case "rollback retraction and latch" `Quick test_rollback_retraction;
+          Alcotest.test_case "trackable = TDV replay" `Quick test_trackable_matches_tdv;
+          Alcotest.test_case "runtime online observer" `Quick test_runtime_online_field;
+          Alcotest.test_case "impossible streams rejected" `Quick test_inconsistent_streams_rejected;
+        ] );
+    ]

@@ -8,8 +8,8 @@
      interval >= x and is delivered to [P_j] in an interval <= y;
    - the same enumeration agrees with [Chains.zigzag] (Netzer-Xu form);
    - the fully naive RDT verdict — every R-path pair (by naive closure)
-     is trackable (by naive causal-chain search) — matches [Checker.check],
-     [Checker.check_chains] and [Checker.check_doubling]. *)
+     is trackable (by naive causal-chain search) — matches [Checker.run],
+     [Checker.run ~algo:`Chains] and [Checker.run ~algo:`Doubling]. *)
 
 module P = Rdt_pattern.Pattern
 module T = Rdt_pattern.Types
@@ -94,9 +94,9 @@ let naive_rdt_matches_checkers =
   QCheck.Test.make ~name:"naive RDT verdict = all three checkers" ~count:100
     Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
       let expect = naive_rdt pat in
-      (Checker.check pat).Checker.rdt = expect
-      && (Checker.check_chains pat).Checker.rdt = expect
-      && (Checker.check_doubling pat).Checker.rdt = expect)
+      (Checker.run pat).Checker.rdt = expect
+      && (Checker.run ~algo:`Chains pat).Checker.rdt = expect
+      && (Checker.run ~algo:`Doubling pat).Checker.rdt = expect)
 
 (* Directed sanity anchors on the paper's fixtures, so a silent generator
    regression (e.g. only trivial patterns) cannot mask the properties. *)
@@ -104,10 +104,10 @@ let test_fixture_verdicts () =
   let fx = Rdt_test_helpers.Fixtures.figure1 () in
   Alcotest.(check bool) "figure 1 is not RDT (naive)" false (naive_rdt fx.pattern);
   Alcotest.(check bool) "figure 1 is not RDT (checker)" false
-    (Checker.check fx.pattern).Checker.rdt;
+    (Checker.run fx.pattern).Checker.rdt;
   let pat = Rdt_test_helpers.Fixtures.pairwise_insufficient () in
   Alcotest.(check bool) "pairwise-insufficient fixture agrees" (naive_rdt pat)
-    (Checker.check pat).Checker.rdt
+    (Checker.run pat).Checker.rdt
 
 (* The same-process edge of trackability (§4.1.2): a Z-path can close an
    R-path from a checkpoint back to an *earlier* checkpoint of the same
@@ -129,9 +129,9 @@ let test_backwards_same_process_rpath () =
   let g = Rgraph.build pat in
   Alcotest.(check bool) "R-graph has C_{0,2} ~> C_{0,1}" true (Rgraph.reaches g (0, 2) (0, 1));
   Alcotest.(check bool) "not RDT (naive oracle)" false (naive_rdt pat);
-  Alcotest.(check bool) "not RDT (R-graph vs TDV)" false (Checker.check pat).Checker.rdt;
-  Alcotest.(check bool) "not RDT (chain search)" false (Checker.check_chains pat).Checker.rdt;
-  Alcotest.(check bool) "not RDT (CM doubling)" false (Checker.check_doubling pat).Checker.rdt
+  Alcotest.(check bool) "not RDT (R-graph vs TDV)" false (Checker.run pat).Checker.rdt;
+  Alcotest.(check bool) "not RDT (chain search)" false (Checker.run ~algo:`Chains pat).Checker.rdt;
+  Alcotest.(check bool) "not RDT (CM doubling)" false (Checker.run ~algo:`Doubling pat).Checker.rdt
 
 let test_zpath_nontrivial () =
   (* the generator must exercise both verdicts *)

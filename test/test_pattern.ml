@@ -481,7 +481,7 @@ let test_pairwise_insufficient () =
   let pat = Rdt_test_helpers.Fixtures.pairwise_insufficient () in
   let tdv = Tdv.compute pat in
   check "every pair is doubled" true (Chains.pairwise_doubled pat tdv);
-  check "yet RDT fails" false (Rdt_core.Checker.check pat).Rdt_core.Checker.rdt;
+  check "yet RDT fails" false (Rdt_core.Checker.run pat).Rdt_core.Checker.rdt;
   (* the exact CM-path characterization does catch it *)
   check "CM-paths catch it" true (Chains.undoubled_cm_paths pat tdv <> [])
 
@@ -489,7 +489,7 @@ let rdt_implies_pairwise =
   QCheck.Test.make ~name:"RDT implies pairwise doubling (sound direction)" ~count:150
     Rdt_test_helpers.Gen.pattern_arbitrary (fun pat ->
       let tdv = Tdv.compute pat in
-      (not (Rdt_core.Checker.check pat).Rdt_core.Checker.rdt)
+      (not (Rdt_core.Checker.run pat).Rdt_core.Checker.rdt)
       || Chains.pairwise_doubled pat tdv)
 
 (* ------------------------------------------------------------------ *)
