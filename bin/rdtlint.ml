@@ -1,0 +1,80 @@
+(* rdtlint — typed-AST lint over the repo's own cmt files.
+
+   Run from the dune context root (dune actions already are), pointing
+   at source trees whose .objs directories hold the cmts:
+
+     rdtlint --allowlist .rdtlint lib test
+
+   Exit 0: clean.  Exit 1: findings.  Exit 2: configuration or load
+   error (bad allowlist, unreadable cmt, nothing to lint). *)
+
+let usage = "rdtlint [options] PATH..."
+
+let () =
+  let rules = ref None in
+  let allowlist_file = ref None in
+  let obs_prefixes = ref [] in
+  let excludes = ref [] in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--rules",
+        Arg.String
+          (fun s ->
+            rules := Some (String.split_on_char ',' s |> List.map String.trim)),
+        "IDS  comma-separated rule ids to run (default: all)" );
+      ( "--allowlist",
+        Arg.String (fun s -> allowlist_file := Some s),
+        "FILE  allowlist file (RULE path[:LINE] per line)" );
+      ( "--obs-prefix",
+        Arg.String (fun s -> obs_prefixes := s :: !obs_prefixes),
+        "DIR  source-path prefix treated as observation-only by A2 (default: lib/obs/)" );
+      ( "--exclude",
+        Arg.String (fun s -> excludes := s :: !excludes),
+        "DIR  path prefix to skip (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " list rule ids and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rdt_lint.Rule.t) -> Printf.printf "%-4s %s\n" r.id r.doc)
+      Rdt_lint.Rules.all;
+    exit 0
+  end;
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("rdtlint: " ^ m); exit 2) fmt in
+  let paths = List.rev !paths in
+  if paths = [] then fail "no paths given (try: rdtlint lib test)";
+  let rules =
+    match !rules with
+    | None -> Rdt_lint.Rules.all
+    | Some ids ->
+        List.map
+          (fun id ->
+            match Rdt_lint.Rules.find id with
+            | Some r -> r
+            | None -> fail "unknown rule id %S (see --list-rules)" id)
+          ids
+  in
+  let allowlist =
+    match !allowlist_file with
+    | None -> Rdt_lint.Allowlist.empty
+    | Some f -> (
+        match Rdt_lint.Allowlist.load f with Ok a -> a | Error e -> fail "%s" e)
+  in
+  let obs_prefixes =
+    match !obs_prefixes with [] -> [ "lib/obs/" ] | ps -> List.rev ps
+  in
+  let r =
+    Rdt_lint.Driver.run ~rules ~allowlist ~obs_prefixes ~excludes:(List.rev !excludes) paths
+  in
+  List.iter (fun e -> prerr_endline ("rdtlint: " ^ e)) r.Rdt_lint.Driver.errors;
+  if r.Rdt_lint.Driver.errors <> [] then exit 2;
+  if r.Rdt_lint.Driver.units = 0 then
+    fail "no implementation cmts found under %s (build first: dune build @all)"
+      (String.concat " " paths);
+  List.iter
+    (fun f -> print_endline (Rdt_lint.Finding.to_string f))
+    r.Rdt_lint.Driver.findings;
+  if r.Rdt_lint.Driver.findings <> [] then exit 1

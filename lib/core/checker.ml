@@ -173,7 +173,7 @@ let run_online pat =
   }
 
 let run ?(algo = `Rgraph) ?tdv pat =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rdt_obs.Meter.now () in
   let r =
     match algo with
     | `Rgraph -> run_rgraph ?tdv pat
@@ -181,7 +181,7 @@ let run ?(algo = `Rgraph) ?tdv pat =
     | `Doubling -> run_doubling pat
     | `Online -> run_online pat
   in
-  { r with seconds = Unix.gettimeofday () -. t0 }
+  { r with seconds = Rdt_obs.Meter.now () -. t0 }
 
 let check ?tdv pat = run ~algo:`Rgraph ?tdv pat
 

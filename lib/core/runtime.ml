@@ -199,7 +199,7 @@ let run_reliable cfg =
           expected_implications;
         List.filter_map (fun (name, v) -> if v then Some name else None) named
   in
-  let sim_t0 = Unix.gettimeofday () in
+  let sim_t0 = Meter.now () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -239,7 +239,7 @@ let run_reliable cfg =
             let reactions = E.on_deliver env ~pid:dst ~src in
             List.iter (do_action dst) reactions)
   done;
-  Meter.add_span Meter.default "runtime.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add_span Meter.default "runtime.sim" (Meter.now () -. sim_t0);
   Meter.add Meter.default "runtime.runs" 1;
   Meter.add Meter.default "runtime.messages" !sent;
   Meter.add Meter.default "runtime.forced_ckpts" !forced;
@@ -263,14 +263,16 @@ let run_reliable cfg =
       duration = !now;
     }
   in
+  (* sorted traversal: these lists reach reports and JSON output, so
+     they must be a pure function of the table contents *)
   let predicate_counts =
-    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    Rdt_dist.Tbl.bindings_sorted ~compare:String.compare pred_counts
+    |> List.map (fun (k, v) -> (k, !v))
   in
-  (* sort: [Hashtbl.fold] order is unspecified and varies across OCaml
-     versions, and this list reaches reports and JSON output *)
   let hierarchy_violations =
-    Hashtbl.fold (fun k () acc -> k :: acc) violations [] |> List.sort compare
+    Rdt_dist.Tbl.keys_sorted violations
+      ~compare:(fun (a, b) (c, d) ->
+        match String.compare a c with 0 -> String.compare b d | r -> r)
   in
   { pattern; metrics; predicate_counts; hierarchy_violations; transport = None; online = None }
 
@@ -436,7 +438,7 @@ let run_faulty cfg params =
     Event_queue.schedule queue ~time:(E.initial_tick_delay env ~pid) (FTick pid);
     if basic_enabled then Event_queue.schedule queue ~time:(draw_basic_delay ()) (FBasic pid)
   done;
-  let sim_t0 = Unix.gettimeofday () in
+  let sim_t0 = Meter.now () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -464,7 +466,7 @@ let run_faulty cfg params =
             end
         | FNet wire -> process_effects (Transport.handle tp ~now:!now wire))
   done;
-  Meter.add_span Meter.default "runtime.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add_span Meter.default "runtime.sim" (Meter.now () -. sim_t0);
   Meter.add Meter.default "runtime.runs" 1;
   Meter.add Meter.default "runtime.messages" !sent;
   Meter.add Meter.default "runtime.forced_ckpts" !forced;
@@ -506,14 +508,16 @@ let run_faulty cfg params =
       duration = !now;
     }
   in
+  (* sorted traversal: these lists reach reports and JSON output, so
+     they must be a pure function of the table contents *)
   let predicate_counts =
-    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) pred_counts []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    Rdt_dist.Tbl.bindings_sorted ~compare:String.compare pred_counts
+    |> List.map (fun (k, v) -> (k, !v))
   in
-  (* sort: [Hashtbl.fold] order is unspecified and varies across OCaml
-     versions, and this list reaches reports and JSON output *)
   let hierarchy_violations =
-    Hashtbl.fold (fun k () acc -> k :: acc) violations [] |> List.sort compare
+    Rdt_dist.Tbl.keys_sorted violations
+      ~compare:(fun (a, b) (c, d) ->
+        match String.compare a c with 0 -> String.compare b d | r -> r)
   in
   {
     pattern;

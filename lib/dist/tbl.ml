@@ -1,0 +1,8 @@
+let bindings_sorted ~compare:cmp tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let keys_sorted ~compare:cmp tbl = List.map fst (bindings_sorted ~compare:cmp tbl)
+
+let iter_sorted ~compare:cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (bindings_sorted ~compare:cmp tbl)

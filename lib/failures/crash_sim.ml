@@ -428,7 +428,7 @@ let run cfg =
     (!undone_sends, !undone_recvs)
   in
   let recover (c : crash) =
-    let recover_t0 = Unix.gettimeofday () in
+    let recover_t0 = Meter.now () in
     let pid = c.victim in
     (* live processes secure their volatile state first *)
     for q = 0 to cfg.n - 1 do
@@ -511,7 +511,7 @@ let run cfg =
         messages_replayed = !replayed;
       }
       :: !recoveries;
-    Meter.add_span Meter.default "crash_sim.recovery" (Unix.gettimeofday () -. recover_t0);
+    Meter.add_span Meter.default "crash_sim.recovery" (Meter.now () -. recover_t0);
     Meter.add Meter.default "crash_sim.events_undone" !events_undone;
     Meter.add Meter.default "crash_sim.messages_replayed" !replayed
   in
@@ -521,7 +521,7 @@ let run cfg =
     if basic_enabled then Event_queue.schedule queue ~time:(draw_basic ()) (Basic (pid, 0))
   done;
   List.iter (fun c -> Event_queue.schedule queue ~time:c.at (Crash c)) cfg.crashes;
-  let sim_t0 = Unix.gettimeofday () in
+  let sim_t0 = Meter.now () in
   let continue = ref true in
   while !continue do
     match Event_queue.pop queue with
@@ -606,11 +606,11 @@ let run cfg =
                       (Undeliverable { msg = id; src = m.m_src; dst = m.m_dst; time = !now })
               | Flight | Replay | Delivered -> transmit id))
   done;
-  Meter.add_span Meter.default "crash_sim.sim" (Unix.gettimeofday () -. sim_t0);
+  Meter.add_span Meter.default "crash_sim.sim" (Meter.now () -. sim_t0);
   Meter.add Meter.default "crash_sim.runs" 1;
   Meter.add Meter.default "crash_sim.recoveries" (List.length !recoveries);
   (* ---------------- final pattern ---------------- *)
-  let pattern_t0 = Unix.gettimeofday () in
+  let pattern_t0 = Meter.now () in
   let builder = Pattern.Builder.create ~n:cfg.n in
   let all = ref [] in
   for pid = 0 to cfg.n - 1 do
@@ -638,7 +638,7 @@ let run cfg =
               (Pattern.Builder.checkpoint ~kind:c.c_kind ?tdv:c.c_tdv ~time:c.c_time builder pid))
     ordered;
   let pattern = Pattern.Builder.finish ~final_checkpoints:true builder in
-  Meter.add_span Meter.default "crash_sim.pattern" (Unix.gettimeofday () -. pattern_t0);
+  Meter.add_span Meter.default "crash_sim.pattern" (Meter.now () -. pattern_t0);
   let recoveries = List.rev !recoveries in
   {
     pattern;

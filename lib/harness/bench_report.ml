@@ -44,8 +44,8 @@ let totals key t =
       let secs, n = try Hashtbl.find tbl k with Not_found -> (0.0, 0) in
       Hashtbl.replace tbl k (secs +. c.seconds, n + 1))
     t.cells;
-  Hashtbl.fold (fun k (secs, n) acc -> (k, secs, n) :: acc) tbl []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  Rdt_dist.Tbl.bindings_sorted ~compare:String.compare tbl
+  |> List.map (fun (k, (secs, n)) -> (k, secs, n))
 
 let per_protocol t = totals (fun c -> c.protocol) t
 

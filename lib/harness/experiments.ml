@@ -798,20 +798,20 @@ let table_online ?report ?(min_events = 5_000) () =
   let nev = List.length events in
   (* offline cost of one full re-check, the unit of the "re-check after
      every event" strategy the online engine replaces *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rdt_obs.Meter.now () in
   let off = Rdt_core.Checker.run r.Runtime.pattern in
-  let offline_s = Unix.gettimeofday () -. t0 in
+  let offline_s = Rdt_obs.Meter.now () -. t0 in
   (* online: stream the trace through a fresh engine, one event at a
      time; also exercises the metered pattern-mode entry point so the
      [checker.online] span and [checker.online_events] counter land in
      the report *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rdt_obs.Meter.now () in
   let verdict =
     match Rdt_check.Online.check_trace events with
     | Ok t -> Rdt_check.Online.rdt_so_far t
     | Error e -> invalid_arg ("Experiments.table_online: inconsistent trace: " ^ e)
   in
-  let online_s = Unix.gettimeofday () -. t0 in
+  let online_s = Rdt_obs.Meter.now () -. t0 in
   let rep = Rdt_core.Checker.run ~algo:`Online r.Runtime.pattern in
   assert (rep.Rdt_core.Checker.rdt = off.Rdt_core.Checker.rdt && verdict = off.Rdt_core.Checker.rdt);
   let ns_per_event = 1e9 *. online_s /. float_of_int (max 1 nev) in
@@ -840,7 +840,7 @@ let table_online ?report ?(min_events = 5_000) () =
 
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rdt_obs.Meter.now () in
   print_figure (fig_random ?jobs ?report ~seeds ());
   print_figure (fig_group ?jobs ?report ~seeds ());
   print_figure (fig_client_server ?jobs ?report ~seeds ());
@@ -875,5 +875,5 @@ let run_all ?(quick = false) ?jobs ?report () =
   Format.printf
     "@.== BENCH-ONLINE: amortized per-event cost of the incremental checker (bhmr, n=8) ==@.";
   Table.print (table_online ?report ());
-  (match report with Some r -> Bench_report.set_wall r (Unix.gettimeofday () -. t0) | None -> ());
+  (match report with Some r -> Bench_report.set_wall r (Rdt_obs.Meter.now () -. t0) | None -> ());
   Format.print_flush ()

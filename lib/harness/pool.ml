@@ -23,9 +23,9 @@ let run_slots ~jobs slots =
   let task i =
     match slots.(i) with
     | Pending x -> (
-        let t0 = Unix.gettimeofday () in
+        let t0 = Rdt_obs.Meter.now () in
         match x () with
-        | y -> slots.(i) <- Done (y, Unix.gettimeofday () -. t0)
+        | y -> slots.(i) <- Done (y, Rdt_obs.Meter.now () -. t0)
         | exception e -> slots.(i) <- Failed (e, Printexc.get_raw_backtrace ()))
     | Done _ | Failed _ -> assert false
   in

@@ -1,0 +1,61 @@
+type entry = { rule : string; path : string; line : int option }
+type t = entry list
+
+let empty = []
+
+(* "RULE path[:LINE]"; '#' starts a comment; a trailing '/' on the path
+   allowlists a whole directory. *)
+let parse_line ~file ~lineno raw =
+  let text =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let text = String.trim text in
+  if text = "" then Ok None
+  else
+    match String.split_on_char ' ' text |> List.filter (fun s -> s <> "") with
+    | [ rule; spec ] ->
+        let path, line =
+          match String.rindex_opt spec ':' with
+          | Some i -> (
+              let tail = String.sub spec (i + 1) (String.length spec - i - 1) in
+              match int_of_string_opt tail with
+              | Some l -> (String.sub spec 0 i, Some l)
+              | None -> (spec, None))
+          | None -> (spec, None)
+        in
+        Ok (Some { rule; path; line })
+    | _ ->
+        Error
+          (Printf.sprintf "%s:%d: malformed allowlist line %S (want: RULE path[:LINE])" file
+             lineno raw)
+
+let load file =
+  match open_in file with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go lineno acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (List.rev acc)
+            | raw -> (
+                match parse_line ~file ~lineno raw with
+                | Error _ as e -> e
+                | Ok None -> go (lineno + 1) acc
+                | Ok (Some e) -> go (lineno + 1) (e :: acc))
+          in
+          go 1 [])
+
+let allows t ~rule ~file ~line =
+  List.exists
+    (fun e ->
+      String.equal e.rule rule
+      && (String.equal e.path file
+         || String.length e.path > 0
+            && e.path.[String.length e.path - 1] = '/'
+            && String.starts_with ~prefix:e.path file)
+      && match e.line with None -> true | Some l -> l = line)
+    t

@@ -1,0 +1,15 @@
+(** The [.rdtlint] allowlist: one [RULE path[:LINE]] entry per line.
+
+    [path] is the source path as the compiler recorded it (relative to
+    the workspace root, e.g. [lib/obs/meter.ml]); a trailing ['/'] makes
+    it a directory prefix.  Without [:LINE] the entry covers the whole
+    file.  ['#'] starts a comment.  Parsing is strict: a malformed line
+    is a configuration error, not a silently ignored one. *)
+
+type t
+
+val empty : t
+
+val load : string -> (t, string) result
+
+val allows : t -> rule:string -> file:string -> line:int -> bool

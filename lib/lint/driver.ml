@@ -1,0 +1,40 @@
+type result = {
+  findings : Finding.t list;  (** sorted by file, line, col, rule *)
+  errors : string list;  (** unreadable cmts: a hard failure, not a quiet skip *)
+  units : int;  (** implementation units actually linted *)
+}
+
+let run ?(rules = Rules.all) ?(allowlist = Allowlist.empty) ?(obs_prefixes = [ "lib/obs/" ])
+    ?(excludes = []) paths =
+  let cmts = Loader.find_cmts ~excludes paths in
+  let findings = ref [] in
+  let errors = ref [] in
+  let units = ref 0 in
+  List.iter
+    (fun cmt ->
+      match Loader.load cmt with
+      | Error e -> errors := e :: !errors
+      | Ok None -> ()
+      | Ok (Some u) ->
+          if not (Loader.excluded ~excludes u.Loader.source) then begin
+            incr units;
+            let report ~rule ~loc msg =
+              let f = Finding.of_loc ~rule ~loc msg in
+              (* ghost locations have no file; anchor them to the unit *)
+              let f =
+                if f.Finding.file = "" || f.Finding.file = "_none_" then
+                  { f with Finding.file = u.Loader.source }
+                else f
+              in
+              if not (Allowlist.allows allowlist ~rule ~file:f.Finding.file ~line:f.Finding.line)
+              then findings := f :: !findings
+            in
+            let ctx = { Rule.file = u.Loader.source; obs_prefixes; report } in
+            List.iter (fun (r : Rule.t) -> r.Rule.check ctx u.Loader.structure) rules
+          end)
+    cmts;
+  {
+    findings = List.sort_uniq Finding.compare !findings;
+    errors = List.rev !errors;
+    units = !units;
+  }

@@ -1,0 +1,21 @@
+(** Load every [.cmt] under the given paths and run the rule engine.
+
+    Paths are walked recursively; anything matching an [excludes] prefix
+    — compared both against the on-disk walk path and against the source
+    path recorded in the cmt — is skipped.  Findings are deduplicated
+    and sorted (file, line, col, rule) so output is stable across
+    traversal order. *)
+
+type result = {
+  findings : Finding.t list;  (** sorted by file, line, col, rule *)
+  errors : string list;  (** unreadable cmts: a hard failure, not a quiet skip *)
+  units : int;  (** implementation units actually linted *)
+}
+
+val run :
+  ?rules:Rule.t list ->
+  ?allowlist:Allowlist.t ->
+  ?obs_prefixes:string list ->
+  ?excludes:string list ->
+  string list ->
+  result

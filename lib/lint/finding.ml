@@ -1,0 +1,22 @@
+type t = { file : string; line : int; col : int; rule : string; msg : string }
+
+let of_loc ~rule ~loc msg =
+  let p = loc.Location.loc_start in
+  {
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    msg;
+  }
+
+(* file, then position, then rule id: the output order is part of the
+   expect-test contract, so it must not depend on rule execution order *)
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  String.compare a.file b.file <?> fun () ->
+  Int.compare a.line b.line <?> fun () ->
+  Int.compare a.col b.col <?> fun () ->
+  String.compare a.rule b.rule <?> fun () -> String.compare a.msg b.msg
+
+let to_string f = Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg

@@ -1,0 +1,12 @@
+(** A single lint finding, reported as [file:line:col [rule-id] message]. *)
+
+type t = { file : string; line : int; col : int; rule : string; msg : string }
+
+val of_loc : rule:string -> loc:Location.t -> string -> t
+(** Columns are 0-based (compiler convention); lines 1-based. *)
+
+val compare : t -> t -> int
+(** Orders by file, line, column, rule id, message — the stable output
+    order of the driver and of the fixture expect tests. *)
+
+val to_string : t -> string

@@ -1,0 +1,36 @@
+type unit_info = {
+  cmt_path : string;
+  source : string;  (** as recorded by the compiler, relative to the workspace root *)
+  structure : Typedtree.structure;
+}
+
+let excluded ~excludes path = List.exists (fun p -> String.starts_with ~prefix:p path) excludes
+
+let find_cmts ~excludes paths =
+  let rec walk acc path =
+    if excluded ~excludes path then acc
+    else
+      match Sys.is_directory path with
+      | exception Sys_error _ -> acc
+      | true ->
+          let entries = Sys.readdir path in
+          Array.sort String.compare entries;
+          Array.fold_left (fun acc e -> walk acc (Filename.concat path e)) acc entries
+      | false -> if Filename.check_suffix path ".cmt" then path :: acc else acc
+  in
+  List.fold_left walk [] paths |> List.sort_uniq String.compare
+
+let load cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception e -> Error (Printf.sprintf "%s: cannot read cmt: %s" cmt_path (Printexc.to_string e))
+  | infos -> (
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation structure ->
+          let source =
+            match infos.Cmt_format.cmt_sourcefile with Some s -> s | None -> cmt_path
+          in
+          (* dune-generated library alias modules ([lib__.ml-gen]) carry no
+             user code *)
+          if Filename.check_suffix source ".ml-gen" then Ok None
+          else Ok (Some { cmt_path; source; structure })
+      | _ -> Ok None)

@@ -1,0 +1,11 @@
+type ctx = {
+  file : string;  (** source path of the unit being linted *)
+  obs_prefixes : string list;  (** source prefixes subject to the A2 purity rule *)
+  report : rule:string -> loc:Location.t -> string -> unit;
+}
+
+type t = {
+  id : string;
+  doc : string;
+  check : ctx -> Typedtree.structure -> unit;
+}

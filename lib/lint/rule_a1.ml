@@ -1,0 +1,45 @@
+(* A1 — API hygiene: no call sites of deprecated values.
+
+   The compiler's own alert only warns (and is routinely silenced in
+   test code); this rule makes drift a lint failure instead.  Any
+   Texp_ident whose value description carries [@@ocaml.deprecated] is
+   flagged — which covers the Checker.check* compat wrappers as well as
+   anything Stdlib deprecates under a future compiler.  The one pinned
+   compat test is allowlisted in .rdtlint, keeping the exception
+   explicit and counted. *)
+
+let deprecation_of (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      match a.attr_name.txt with
+      | "ocaml.deprecated" | "deprecated" ->
+          let msg =
+            match a.attr_payload with
+            | PStr
+                [
+                  {
+                    pstr_desc =
+                      Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                    _;
+                  };
+                ] ->
+                s
+            | _ -> ""
+          in
+          Some msg
+      | _ -> None)
+    attrs
+
+let check (ctx : Rule.ctx) structure =
+  Scan.iter_expressions structure (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (path, _, vd) -> (
+          match deprecation_of vd.Types.val_attributes with
+          | Some msg ->
+              ctx.report ~rule:"A1" ~loc:e.Typedtree.exp_loc
+                (Printf.sprintf "use of deprecated %s%s" (Scan.normalize_path path)
+                   (if msg = "" then "" else ": " ^ String.trim msg))
+          | None -> ())
+      | _ -> ())
+
+let rule = { Rule.id = "A1"; doc = "no call sites of [@@ocaml.deprecated] values"; check }

@@ -1,0 +1,59 @@
+(* D1 — determinism.  Simulation output must be a pure function of
+   (seed, params): no ambient randomness, no wall clock outside the
+   metering layer, no unordered hash-table traversal feeding output.
+
+   - Random.self_init is banned outright.
+   - Any other Stdlib.Random use is banned outside Rdt_dist.Rng (the
+     allowlist names the sanctioned file).
+   - Unix.gettimeofday / Unix.time / Sys.time are banned outside
+     Rdt_obs.Meter / Bench_report: measurement flows through Meter.now.
+   - Hashtbl.iter / Hashtbl.fold enumerate buckets in unspecified order;
+     call sites must go through Rdt_dist.Tbl's sorted traversals (or be
+     explicitly allowlisted when the order provably cannot escape). *)
+
+let clock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+let unordered = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let check (ctx : Rule.ctx) structure =
+  Scan.iter_expressions structure (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (path, _, _) -> (
+          let n = Scan.normalize_path path in
+          let loc = e.Typedtree.exp_loc in
+          let report msg = ctx.report ~rule:"D1" ~loc msg in
+          if Scan.matches n "Random.self_init" then
+            report
+              "Random.self_init seeds from ambient entropy; every run must be reproducible \
+               from (seed, params) via Rdt_dist.Rng.create"
+          else if String.starts_with ~prefix:"Random." n then
+            report
+              (Printf.sprintf
+                 "%s: Stdlib.Random outside Rdt_dist.Rng breaks seed-determinism; draw from \
+                  an Rng.t derived with Rng.derive_seed"
+                 n)
+          else if Scan.matches_any n clock then
+            report
+              (Printf.sprintf
+                 "%s: wall clock outside Rdt_obs.Meter/Bench_report; use Rdt_obs.Meter.now \
+                  (measurement must never influence simulation output)"
+                 n)
+          else
+            match Scan.find_target n unordered with
+            | Some t ->
+                report
+                  (Printf.sprintf
+                     "%s: unordered hash-table traversal; use Rdt_dist.Tbl.bindings_sorted / \
+                      iter_sorted, or allowlist this file if the order provably cannot reach \
+                      output"
+                     t)
+            | None -> ())
+      | _ -> ())
+
+let rule =
+  {
+    Rule.id = "D1";
+    doc =
+      "determinism: no ambient randomness, no wall clock outside Meter/Bench_report, no \
+       unordered Hashtbl traversal";
+    check;
+  }

@@ -1,0 +1,149 @@
+(* Shared typed-AST utilities: path normalization, a cycle-safe type
+   walk, and an every-expression iterator. *)
+
+let path_components p =
+  let rec go acc = function
+    | Path.Pident id -> Ident.name id :: acc
+    | Path.Pdot (p, s) -> go (s :: acc) p
+    | Path.Papply (p, _) -> go acc p
+    | Path.Pextra_ty (p, _) -> go acc p
+  in
+  go [] p
+
+(* Dune name-mangles wrapped-library modules: [Rdt_pattern__Pattern] is
+   the module a same-library reference resolves to, [Stdlib__Random] an
+   expanded stdlib alias.  Keep the part after the last "__" so both
+   spellings normalize to the source-level name. *)
+let after_last_dunder c =
+  let n = String.length c in
+  let rec go i =
+    if i < 0 then c
+    else if i + 1 < n && c.[i] = '_' && c.[i + 1] = '_' then String.sub c (i + 2) (n - i - 2)
+    else go (i - 1)
+  in
+  go (n - 2)
+
+let normalize_path p =
+  let comps =
+    path_components p
+    |> List.map after_last_dunder
+    |> List.filter (fun c -> c <> "")
+  in
+  let comps = match comps with "Stdlib" :: (_ :: _ as rest) -> rest | l -> l in
+  String.concat "." comps
+
+(* Multi-component targets ("Pool.map", "Pattern.t") also match with any
+   module prefix ("Rdt_harness.Pool.map"); single-component targets
+   ("incr", "=") must match exactly, otherwise "Atomic.incr" would match
+   "incr". *)
+let matches name target =
+  String.equal name target
+  || (String.contains target '.' && String.ends_with ~suffix:("." ^ target) name)
+
+let matches_any name targets = List.exists (matches name) targets
+
+let find_target name targets = List.find_opt (matches name) targets
+
+(* ---------------------------------------------------------------- *)
+(* Type walk                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let iter_type_once f ty =
+  let seen = ref [] in
+  let rec go ty =
+    let id = Types.get_id ty in
+    if not (List.mem id !seen) then begin
+      seen := id :: !seen;
+      f ty;
+      let sub =
+        match Types.get_desc ty with
+        | Types.Tvar _ | Tunivar _ | Tnil | Tvariant _ | Tpackage _ -> []
+        | Tarrow (_, a, b, _) -> [ a; b ]
+        | Ttuple l -> l
+        | Tconstr (_, l, _) -> l
+        | Tobject (a, _) -> [ a ]
+        | Tfield (_, _, a, b) -> [ a; b ]
+        | Tlink a -> [ a ]
+        | Tsubst (a, b) -> a :: Option.to_list b
+        | Tpoly (a, l) -> a :: l
+      in
+      List.iter go sub
+    end
+  in
+  go ty
+
+let type_mentions ~targets ty =
+  let found = ref None in
+  iter_type_once
+    (fun t ->
+      if !found = None then
+        match Types.get_desc t with
+        | Types.Tconstr (p, _, _) -> (
+            let n = normalize_path p in
+            match find_target n targets with Some tgt -> found := Some tgt | None -> ())
+        | _ -> ())
+    ty;
+  !found
+
+let type_has_arrow ty =
+  let found = ref false in
+  iter_type_once
+    (fun t -> match Types.get_desc t with Types.Tarrow _ -> found := true | _ -> ())
+    ty;
+  !found
+
+let first_param ty =
+  match Types.get_desc ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Iteration                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let iter_expressions structure f =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it structure
+
+let iter_expressions_in_expr e0 f =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e0
+
+(* Every ident bound anywhere inside [e0]: function parameters, lets,
+   match/try cases, for-loop indices.  Stamps are globally unique, so
+   "bound somewhere inside the closure" is a sound (and for our rules
+   exact) notion of closure-local. *)
+let bound_idents_in e0 =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) it (p : k Typedtree.general_pattern) ->
+          acc := Typedtree.pat_bound_idents p @ !acc;
+          Tast_iterator.default_iterator.pat it p);
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_function { param; _ } -> acc := param :: !acc
+          | Texp_for (id, _, _, _, _, _) -> acc := id :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e0;
+  !acc

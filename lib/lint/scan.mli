@@ -1,0 +1,33 @@
+(** Shared typed-AST helpers for the rules. *)
+
+val normalize_path : Path.t -> string
+(** Source-level spelling of a resolved path: strips dune's wrapped-library
+    mangling ([Rdt_pattern__Pattern] to [Pattern]) and a leading [Stdlib]
+    ([Stdlib.Random.int] to [Random.int]). *)
+
+val matches : string -> string -> bool
+(** [matches name target]: exact match, or — when [target] is
+    multi-component like ["Pool.map"] — a module-prefixed match such as
+    ["Rdt_harness.Pool.map"].  Single-component targets never match by
+    suffix (["Atomic.incr"] is not a use of ["incr"]). *)
+
+val matches_any : string -> string list -> bool
+val find_target : string -> string list -> string option
+
+val type_mentions : targets:string list -> Types.type_expr -> string option
+(** Walks the structure of the type (arrows, tuples, constructor
+    arguments) looking for a nominal constructor matching one of
+    [targets].  Purely structural: it does not expand abbreviations or
+    look inside abstract types, which is the documented false-negative
+    of the type-based rules. *)
+
+val type_has_arrow : Types.type_expr -> bool
+val first_param : Types.type_expr -> Types.type_expr option
+
+val iter_expressions : Typedtree.structure -> (Typedtree.expression -> unit) -> unit
+val iter_expressions_in_expr : Typedtree.expression -> (Typedtree.expression -> unit) -> unit
+
+val bound_idents_in : Typedtree.expression -> Ident.t list
+(** Every ident bound anywhere inside the expression (parameters, lets,
+    cases, for indices) — the closure-local set of the R1 escape
+    heuristic. *)

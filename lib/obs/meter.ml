@@ -9,6 +9,8 @@ type cell = Counter of int Atomic.t | Gauge of int Atomic.t | Span of span_cell
 
 type t = { lock : bool Atomic.t; cells : (string, cell) Hashtbl.t }
 
+let now () = Unix.gettimeofday ()
+
 let create () = { lock = Atomic.make false; cells = Hashtbl.create 32 }
 
 let default = create ()
@@ -59,13 +61,13 @@ let add_span t name seconds =
   ignore (Atomic.fetch_and_add s.s_nanos (int_of_float (seconds *. 1e9)))
 
 let time t name f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> add_span t name (Unix.gettimeofday () -. t0)) f
+  let t0 = now () in
+  Fun.protect ~finally:(fun () -> add_span t name (now () -. t0)) f
 
 type span = { calls : int; seconds : float }
 
 let snapshot t =
-  with_lock t (fun () -> Hashtbl.fold (fun name cell acc -> (name, cell) :: acc) t.cells [])
+  with_lock t (fun () -> Rdt_dist.Tbl.bindings_sorted ~compare:String.compare t.cells)
 
 let counters t =
   snapshot t
@@ -74,7 +76,7 @@ let counters t =
          | Counter a -> Some (name, Atomic.get a)
          | Gauge a -> Some ("gauge:" ^ name, Atomic.get a)
          | Span _ -> None)
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let spans t =
   snapshot t
@@ -85,7 +87,7 @@ let spans t =
                ( name,
                  { calls = Atomic.get s.s_calls; seconds = float_of_int (Atomic.get s.s_nanos) /. 1e9 } )
          | Counter _ | Gauge _ -> None)
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset t = with_lock t (fun () -> Hashtbl.reset t.cells)
 

@@ -12,6 +12,15 @@
 
 type t
 
+val now : unit -> float
+(** Wall-clock seconds since the epoch ([Unix.gettimeofday]).  This is
+    the {e one} sanctioned clock of the codebase: everything that needs a
+    timestamp for measurement (pool slot timings, checker costs, grid
+    wall-clock) reads it through here, so the [rdtlint] D1 rule can ban
+    [Unix.gettimeofday]/[Sys.time] everywhere else.  Wall-clock readings
+    are measurement, never output: they must not influence simulation
+    results, which are a pure function of [(seed, params)]. *)
+
 val create : unit -> t
 
 val default : t

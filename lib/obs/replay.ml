@@ -176,8 +176,7 @@ let summarize events =
     n = (match !meta_n with Some n -> n | None -> !max_pid + 1);
     events = List.length events;
     by_kind = List.map (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt counts k))) Trace.kind_names;
-    forced_by_pred =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) preds_tbl [] |> List.sort compare;
+    forced_by_pred = Rdt_dist.Tbl.bindings_sorted ~compare:String.compare preds_tbl;
     max_time = !max_time;
   }
 

@@ -204,6 +204,19 @@ end
 (* Accessors                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* Equality and ordering must ignore [gorder]: it is a lazily filled
+   cache, so two structurally identical patterns can differ on it (one
+   was iterated, the other was not).  Polymorphic [=] on [t] sees the
+   cache and is therefore wrong; these are the only sanctioned
+   comparisons (the rdtlint D2 rule flags polymorphic compare at [t]).
+   Every remaining field is immutable first-order data, where structural
+   comparison is exactly componentwise mathematical equality. *)
+let structure t = (t.n, t.events, t.gseqs, t.ckpts, t.msgs, t.sends, t.recvs)
+
+let equal a b = structure a = structure b
+
+let compare a b = Stdlib.compare (structure a) (structure b)
+
 let n t = t.n
 
 let events t i = t.events.(i)
@@ -285,7 +298,7 @@ let events_in_gseq_order t =
       done;
       (* sort [out] by [keys] *)
       let idx = Array.init total (fun i -> i) in
-      Array.sort (fun a b -> compare keys.(a) keys.(b)) idx;
+      Array.sort (fun a b -> Int.compare keys.(a) keys.(b)) idx;
       let sorted = Array.map (fun j -> out.(j)) idx in
       t.gorder <- Some sorted;
       sorted

@@ -51,6 +51,20 @@ module Builder : sig
   (** Handles of messages sent but not yet delivered. *)
 end
 
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Structural equality: same processes, event sequences, global
+    sequence numbers, checkpoints (including kinds and recorded TDVs)
+    and messages.  Use this — never polymorphic [=] — to compare
+    patterns: [t] carries an internal lazily built cache that polymorphic
+    equality can see, so [=] may answer [false] on structurally equal
+    patterns depending on which accessors were called first. *)
+
+val compare : t -> t -> int
+(** A total order consistent with {!equal} (same caveat about
+    polymorphic [compare]). *)
+
 (** {1 Accessors} *)
 
 val n : t -> int

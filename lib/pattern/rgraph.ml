@@ -61,7 +61,7 @@ let build pat =
   let succ =
     Array.map
       (fun l ->
-        let d = List.sort_uniq compare l in
+        let d = List.sort_uniq Int.compare l in
         edge_count := !edge_count + List.length d;
         d)
       raw
@@ -134,7 +134,7 @@ let compute_scc g =
                         incr size;
                         if w = v then continue := false
                   done;
-                  let self_loop = List.mem v g.succ.(v) in
+                  let self_loop = List.exists (Int.equal v) g.succ.(v) in
                   nontrivial := (!size > 1 || self_loop) :: !nontrivial
                 end;
                 call := above;

@@ -1,0 +1,8 @@
+(* D1 fixture: every determinism ban in one file. *)
+
+let seed_ambiently () = Random.self_init ()
+let draw () = Random.int 10
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

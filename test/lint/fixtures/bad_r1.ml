@@ -1,0 +1,25 @@
+(* R1 fixture: closures handed to the domain pool that write state
+   captured from the enclosing scope — data races under OCaml 5. *)
+
+let racy_ref xs =
+  let total = ref 0 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> total := !total + x) xs in
+  !total
+
+type acc = { mutable hits : int }
+
+let racy_field xs =
+  let a = { hits = 0 } in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun _ -> a.hits <- a.hits + 1) xs in
+  a.hits
+
+let racy_table xs =
+  let seen = Hashtbl.create 8 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> Hashtbl.replace seen x true) xs in
+  Hashtbl.length seen
+
+let racy_spawn () =
+  let cell = ref 0 in
+  let d = Domain.spawn (fun () -> incr cell) in
+  Domain.join d;
+  !cell

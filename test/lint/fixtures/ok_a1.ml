@@ -1,0 +1,9 @@
+(* A1 fixture: the supported entry point. *)
+
+let verdict pat =
+  let r = Rdt_core.Checker.run ~algo:`Rgraph pat in
+  r.Rdt_core.Checker.rdt
+
+let all_agree pat =
+  Rdt_core.Checker.all_algos
+  |> List.for_all (fun algo -> (Rdt_core.Checker.run ~algo pat).Rdt_core.Checker.rdt)

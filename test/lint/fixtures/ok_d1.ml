@@ -1,0 +1,13 @@
+(* D1 fixture: the sanctioned routes the rule points to. *)
+
+let draw rng = Rdt_dist.Rng.int rng 10
+let stamp () = Rdt_obs.Meter.now ()
+
+let dump tbl =
+  Rdt_dist.Tbl.iter_sorted ~compare:String.compare
+    (fun k v -> Printf.printf "%s=%d\n" k v)
+    tbl
+
+let total tbl =
+  Rdt_dist.Tbl.bindings_sorted ~compare:String.compare tbl
+  |> List.fold_left (fun acc (_, v) -> acc + v) 0

@@ -1,0 +1,17 @@
+(* R1 fixture: pool tasks that are safe — task-local mutation and
+   Atomic accumulation are both fine. *)
+
+let local_state xs =
+  Rdt_harness.Pool.map ~jobs:2
+    (fun x ->
+      let acc = ref 0 in
+      for i = 1 to x do
+        acc := !acc + i
+      done;
+      !acc)
+    xs
+
+let atomic_sum xs =
+  let total = Atomic.make 0 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> Atomic.fetch_and_add total x) xs in
+  Atomic.get total

@@ -1,0 +1,49 @@
+(* Pins the deprecated [Checker.check*] wrappers to [Checker.run].
+
+   This file is the single A1-allowlisted call site of the deprecated
+   wrappers (see .rdtlint): everything else must use [Checker.run
+   ?algo].  Keeping the wrappers behind one pinned test means the
+   deprecation cycle cannot silently change their behaviour before
+   removal — if a wrapper ever diverges from the [run ~algo] it claims
+   to alias, this suite fails. *)
+
+[@@@ocaml.alert "-deprecated"]
+
+module Checker = Rdt_core.Checker
+module Fixtures = Rdt_test_helpers.Fixtures
+module Gen = Rdt_test_helpers.Gen
+
+(* [seconds] is a measurement, not part of the verdict. *)
+let strip (r : Checker.report) = { r with seconds = 0. }
+
+let check_same name wrapper algo pat =
+  let a = strip (wrapper pat) and b = strip (Checker.run ~algo pat) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s = run ~algo:%s" name (Checker.algo_name algo))
+    true (a = b)
+
+let patterns () =
+  let fig1 = (Fixtures.figure1 ()).Fixtures.pattern in
+  let random = List.init 8 (fun i -> Gen.random_pattern ~seed:(1000 + i) ()) in
+  fig1 :: Fixtures.two_crossing () :: Fixtures.zcycle_fixture ()
+  :: Fixtures.pairwise_insufficient () :: Fixtures.causal_ping_pong () :: random
+
+let test_check () =
+  List.iter (check_same "check" (fun p -> Checker.check p) `Rgraph) (patterns ())
+
+let test_check_chains () =
+  List.iter (check_same "check_chains" Checker.check_chains `Chains) (patterns ())
+
+let test_check_doubling () =
+  List.iter (check_same "check_doubling" Checker.check_doubling `Doubling) (patterns ())
+
+let () =
+  Alcotest.run "checker-compat"
+    [
+      ( "deprecated wrappers alias run",
+        [
+          Alcotest.test_case "check = run ~algo:`Rgraph" `Quick test_check;
+          Alcotest.test_case "check_chains = run ~algo:`Chains" `Quick test_check_chains;
+          Alcotest.test_case "check_doubling = run ~algo:`Doubling" `Quick test_check_doubling;
+        ] );
+    ]

@@ -189,7 +189,7 @@ let test_replay_under_faults () =
       match Replay.rebuild (Trace.events tr) with
       | Error e -> Alcotest.failf "seed %d: rebuild failed: %s" seed e
       | Ok rebuilt ->
-          check "pattern equal under faults" true (rebuilt = r.Runtime.pattern);
+          check "pattern equal under faults" true (P.equal rebuilt r.Runtime.pattern);
           (* the transport leaves its footprint in the trace *)
           check "trace has drops" true
             (List.exists (function Trace.Drop _ -> true | _ -> false) (Trace.events tr)))
@@ -283,7 +283,8 @@ let test_tracing_is_observation_only () =
       let traced =
         Runtime.run (runtime_config ~envname:"group" ~seed:4 ~trace:(Trace.ring ~capacity:65536) p)
       in
-      check (pname ^ " same pattern") true (quiet.Runtime.pattern = traced.Runtime.pattern))
+      check (pname ^ " same pattern") true
+        (P.equal quiet.Runtime.pattern traced.Runtime.pattern))
     [ "bhmr"; "fdas"; "none" ]
 
 let () =
