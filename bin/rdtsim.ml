@@ -378,7 +378,7 @@ let table_cmd =
   let table_names =
     [
       "protocols"; "overhead"; "claim"; "mingcp"; "ablation"; "recovery"; "coordinated";
-      "breakeven"; "goodput"; "faults"; "online";
+      "breakeven"; "goodput"; "faults"; "online"; "durable";
     ]
   in
   let names_arg =
@@ -444,6 +444,9 @@ let table_cmd =
         | "online" ->
             hdr "BENCH-ONLINE: amortized per-event cost of the incremental checker (bhmr, n=8)";
             Rdt_harness.Table.print (E.table_online ~report ())
+        | "durable" ->
+            hdr "BENCH-DURABLE: cost of crash-safe checker state (WAL + snapshots, bhmr, n=8)";
+            Rdt_harness.Table.print (E.table_durable ~report ())
         | _ -> assert false)
       names;
     Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
@@ -741,6 +744,14 @@ let watch_cmd =
          violated RDT.  Without $(i,FILE), simulates a run live with the checker tee'd \
          into the event stream.  The verdict goes to stdout; per-event cost goes to \
          stderr.  Exits 1 on a violated final verdict, 2 on an inconsistent trace.";
+      `P
+        "With $(b,--durable) $(i,DIR), checker state is persisted under $(i,DIR) as a \
+         CRC-checked write-ahead log plus periodic snapshot generations, and the process \
+         may be killed at any instant: rerunning the same command recovers the newest \
+         valid state (degrading to an older snapshot generation, or a full WAL replay, if \
+         the newest is damaged), resumes the stream where durability left off, and reaches \
+         the verdict an uninterrupted run would have.  Recovery details go to stderr.  \
+         Exits 3 when the durable state is corrupt beyond every fallback.";
     ]
   in
   let file_arg =
@@ -749,7 +760,32 @@ let watch_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"JSONL trace file to stream (default: simulate a live run).")
   in
-  let action env protocol n seed messages net file =
+  let durable_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durable" ] ~docv:"DIR"
+          ~doc:
+            "Persist checker state under $(docv) (write-ahead log + snapshots) and \
+             auto-resume from it on restart.  Requires $(i,FILE).")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int Rdt_durable.Session.default_config.Rdt_durable.Session.snapshot_every
+      & info [ "snapshot-every" ] ~docv:"K"
+          ~doc:"With $(b,--durable): install a snapshot generation every $(docv) events.")
+  in
+  let pace_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "pace" ] ~docv:"MICROS"
+          ~doc:
+            "Sleep $(docv) microseconds between streamed events (gives kill-mid-stream \
+             harnesses a window; 0 = full speed).")
+  in
+  let action env protocol n seed messages net file durable snapshot_every pace =
     let module O = Rdt_check.Online in
     let finish ?dt (s : O.summary) =
       Format.printf "%a@." O.pp_summary s;
@@ -760,16 +796,63 @@ let watch_cmd =
       | _ -> ());
       if not s.rdt then exit 1
     in
-    match file with
-    | Some file ->
+    let inconsistent e =
+      Format.eprintf "rdtsim: inconsistent trace: %s@." e;
+      exit 2
+    in
+    match (durable, file) with
+    | Some _, None ->
+        Format.eprintf "rdtsim: --durable needs a trace FILE to stream@.";
+        exit Cmd.Exit.cli_error
+    | Some dir, Some file -> (
+        let events = load_trace file in
+        match O.trace_process_count events with
+        | Error e -> inconsistent e
+        | Ok n -> (
+            try
+              let config =
+                { Rdt_durable.Session.default_config with Rdt_durable.Session.snapshot_every }
+              in
+              let s, info = Rdt_durable.Session.open_ ~config ~dir ~n ~track_open:true () in
+              (match info with
+              | Some r ->
+                  Format.eprintf "rdtsim: recovered: %a@." Rdt_durable.Session.pp_recovery r
+              | None -> ());
+              let skip = O.events_seen (Rdt_durable.Session.engine s) in
+              if skip > List.length events then
+                inconsistent
+                  (Printf.sprintf "durable state covers %d events but the trace has only %d"
+                     skip (List.length events));
+              let t0 = Unix.gettimeofday () in
+              (try
+                 List.iteri
+                   (fun i ev ->
+                     if i >= skip then begin
+                       if pace > 0 then Unix.sleepf (1e-6 *. float_of_int pace);
+                       Rdt_durable.Session.observe s ev
+                     end)
+                   events
+               with O.Inconsistent e -> inconsistent e);
+              let engine = Rdt_durable.Session.engine s in
+              (match O.orphan_messages engine with
+              | [] -> ()
+              | orphans ->
+                  inconsistent
+                    (Printf.sprintf "stream ends mid-rollback-cascade (orphaned messages %s)"
+                       (String.concat ", " (List.map string_of_int orphans))));
+              Rdt_durable.Session.close s;
+              finish ~dt:(Unix.gettimeofday () -. t0) (O.summary engine)
+            with Rdt_durable.Io.Error err ->
+              Format.eprintf "rdtsim: unrecoverable durable state: %s@."
+                (Rdt_durable.Io.error_message err);
+              exit 3))
+    | None, Some file ->
         let events = load_trace file in
         let t0 = Unix.gettimeofday () in
         (match O.check_trace events with
-        | Error e ->
-            Format.eprintf "rdtsim: inconsistent trace: %s@." e;
-            exit 2
+        | Error e -> inconsistent e
         | Ok t -> finish ~dt:(Unix.gettimeofday () -. t0) (O.summary t))
-    | None -> (
+    | None, None -> (
         let r = Rdt_core.Runtime.run (config ~online:true env protocol n seed messages net) in
         print_metrics r;
         match r.online with Some s -> finish s | None -> assert false)
@@ -777,7 +860,7 @@ let watch_cmd =
   Cmd.v (Cmd.info "watch" ~doc ~man)
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ file_arg)
+      $ file_arg $ durable_arg $ snapshot_every_arg $ pace_arg)
 
 let list_cmd =
   let doc = "List available protocols and environments." in

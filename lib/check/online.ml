@@ -316,9 +316,8 @@ let orphan_messages t = List.rev t.orphans
 let check_pid t pid what =
   if pid < 0 || pid >= t.n then bad "%s: pid %d out of range" what pid
 
-(* settle the per-process open verdicts touched by the event, then latch
-   the first-violation index *)
-let finish_step t =
+(* settle the per-process open verdicts touched by the event *)
+let settle t =
   let c = t.core in
   for pid = 0 to c.n - 1 do
     if c.dirty.(pid) then begin
@@ -329,7 +328,11 @@ let finish_step t =
         c.open_bad_count <- (c.open_bad_count + if b then 1 else -1)
       end
     end
-  done;
+  done
+
+(* settle, then latch the first-violation index *)
+let finish_step t =
+  settle t;
   if t.first_violation = None && not (rdt_so_far t) then t.first_violation <- Some t.seen;
   t.seen <- t.seen + 1
 
@@ -538,6 +541,80 @@ let pp_summary ppf s =
     (if s.rebuilds > 0 then Printf.sprintf ", rebuilds: %d" s.rebuilds else "")
 
 (* ------------------------------------------------------------------ *)
+(* Durable state: export / restore                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The durable image of an engine is its *history*, not its graphs: the
+   per-process surviving-entry logs plus the message routing/abandonment
+   tables and the three latched scalars.  [restore] then reconstructs
+   the incremental R-graph/Bitset/TDV state by running the exact rebuild
+   path a rollback uses, so a restored engine is bit-for-bit the state a
+   rollback-free replay of the survivors would reach — serializing the
+   closure sets themselves would only create a second, divergeable
+   source of truth. *)
+module Export = struct
+  type entry =
+    | Send of { seq : int; msg : int }
+    | Recv of { seq : int; msg : int }
+    | Internal of { seq : int }
+    | Ckpt of { seq : int; index : int }
+
+  type t = {
+    n : int;
+    track_open : bool;
+    events_seen : int;
+    first_violation : int option;
+    rebuilds : int;
+    stacks : entry list array;
+    routes : (int * int * int) list;
+    undeliverable : int list;
+  }
+end
+
+let export t =
+  let conv = function
+    | L_send { seq; msg } -> Export.Send { seq; msg }
+    | L_recv { seq; msg } -> Export.Recv { seq; msg }
+    | L_internal { seq } -> Export.Internal { seq }
+    | L_ckpt { seq; index } -> Export.Ckpt { seq; index }
+  in
+  {
+    Export.n = t.n;
+    track_open = t.track_open;
+    events_seen = t.seen;
+    first_violation = t.first_violation;
+    rebuilds = t.rebuilds;
+    stacks = Array.map (fun stack -> List.rev_map conv stack) t.stacks;
+    routes =
+      Rdt_dist.Tbl.bindings_sorted ~compare:Int.compare t.routes
+      |> List.map (fun (msg, (src, dst)) -> (msg, src, dst));
+    undeliverable = Rdt_dist.Tbl.keys_sorted ~compare:Int.compare t.undeliv;
+  }
+
+let restore (e : Export.t) =
+  if e.Export.n <= 0 then bad "restore: n must be positive (got %d)" e.Export.n;
+  if Array.length e.Export.stacks <> e.Export.n then
+    bad "restore: %d survivor stacks for %d processes" (Array.length e.Export.stacks) e.Export.n;
+  if e.Export.events_seen < 0 then bad "restore: negative event count %d" e.Export.events_seen;
+  let t = create ~track_open:e.Export.track_open ~n:e.Export.n () in
+  let conv = function
+    | Export.Send { seq; msg } -> L_send { seq; msg }
+    | Export.Recv { seq; msg } -> L_recv { seq; msg }
+    | Export.Internal { seq } -> L_internal { seq }
+    | Export.Ckpt { seq; index } -> L_ckpt { seq; index }
+  in
+  Array.iteri (fun pid stack -> t.stacks.(pid) <- List.rev_map conv stack) e.Export.stacks;
+  List.iter (fun (msg, src, dst) -> Hashtbl.replace t.routes msg (src, dst)) e.Export.routes;
+  List.iter (fun msg -> Hashtbl.replace t.undeliv msg ()) e.Export.undeliverable;
+  (* reconstruction is the rollback rebuild; it must not count as one *)
+  rebuild t;
+  settle t;
+  t.seen <- e.Export.events_seen;
+  t.first_violation <- e.Export.first_violation;
+  t.rebuilds <- e.Export.rebuilds;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Whole-pattern and whole-trace convenience drivers                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -579,11 +656,19 @@ let trace_n events =
       if !m < 0 then bad "empty trace: no events and no meta header";
       !m + 1
 
+let orphan_error orphans =
+  match List.sort_uniq Int.compare orphans with
+  | [ msg ] -> Printf.sprintf "surviving delivery of rolled-back send %d" msg
+  | msgs ->
+      Printf.sprintf "surviving deliveries of rolled-back sends %s"
+        (String.concat ", " (List.map string_of_int msgs))
+
+let trace_process_count events =
+  match trace_n events with n -> Ok n | exception Inconsistent e -> Error e
+
 let check_trace events =
   try
     let t = create ~n:(trace_n events) () in
     feed t events;
-    match t.orphans with
-    | [] -> Ok t
-    | msg :: _ -> Error (Printf.sprintf "surviving delivery of rolled-back send %d" msg)
+    match orphan_messages t with [] -> Ok t | orphans -> Error (orphan_error orphans)
   with Inconsistent e -> Error e

@@ -153,6 +153,50 @@ val summary : t -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
 
+(** {1 Durable state}
+
+    The engine's durable image is its {e history}, never its graphs: the
+    per-process surviving-entry logs (the same structure the rollback
+    rebuild replays), the message routing and abandonment tables, and
+    the latched scalars.  {!restore} reconstructs the incremental
+    R-graph / {!Rdt_pattern.Bitset} closure / TDV-witness state by
+    running the rollback-rebuild path over the exported survivors, so
+    restored state can never drift from what a live engine would hold —
+    there is one source of truth.  [Rdt_durable.Snapshot] gives these a
+    versioned, CRC-checked binary codec. *)
+
+module Export : sig
+  type entry =
+    | Send of { seq : int; msg : int }
+    | Recv of { seq : int; msg : int }
+    | Internal of { seq : int }
+    | Ckpt of { seq : int; index : int }
+        (** One surviving history entry of a process; [seq] is the global
+            observed-event index that restores cross-process order. *)
+
+  type t = {
+    n : int;
+    track_open : bool;
+    events_seen : int;
+    first_violation : int option;
+    rebuilds : int;
+    stacks : entry list array;  (** per process, oldest first *)
+    routes : (int * int * int) list;  (** [(msg, src, dst)], sorted by [msg] *)
+    undeliverable : int list;  (** abandoned message ids, sorted *)
+  }
+end
+
+val export : t -> Export.t
+(** A deterministic, self-contained image of the engine's state: two
+    engines with equal exports answer every query identically. *)
+
+val restore : Export.t -> t
+(** Rebuild a live engine from an export.  The result's {!summary},
+    {!violations}, {!first_violation}, {!orphan_messages} and every
+    query equal the exporting engine's at export time.
+    @raise Inconsistent if the export is internally inconsistent (no
+    run could have produced it). *)
+
 (** {1 Whole-input drivers} *)
 
 val check_pattern : Rdt_pattern.Pattern.t -> t
@@ -160,6 +204,13 @@ val check_pattern : Rdt_pattern.Pattern.t -> t
     ([track_open = false]); the resulting verdict, violations and
     [checked] count equal the offline checkers' on the same pattern. *)
 
+val trace_process_count : Rdt_obs.Trace.event list -> (int, string) result
+(** The process count a stream of trace events implies: the [Meta]
+    header's [n], or the largest pid mentioned plus one.  Errors on an
+    empty trace. *)
+
 val check_trace : Rdt_obs.Trace.event list -> (t, string) result
 (** Stream a recorded trace ([track_open = true]); process count from the
-    [Meta] header, or inferred.  Errors on inconsistent streams. *)
+    [Meta] header, or inferred.  Errors on inconsistent streams; a
+    stream that ends mid-rollback-cascade reports {e all} orphaned
+    message ids, like [Replay.rebuild]. *)

@@ -1,0 +1,125 @@
+(* Binary primitives shared by the snapshot and WAL codecs: CRC-32
+   (the IEEE 802.3 polynomial, reflected, the one zlib uses) and a
+   little varint/string layer.  Deterministic by construction — the
+   encoding of a value is a pure function of the value, so snapshots of
+   equal engine states are byte-identical. *)
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+
+  let byte b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+  (* unsigned LEB128; every integer we persist is >= 0 *)
+  let varint b v =
+    if v < 0 then invalid_arg "Codec.Writer.varint: negative";
+    let rec go v =
+      if v < 0x80 then byte b v
+      else begin
+        byte b (0x80 lor (v land 0x7F));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let opt_varint b = function None -> varint b 0 | Some v -> varint b (v + 1)
+
+  let u32 b v =
+    byte b v;
+    byte b (v lsr 8);
+    byte b (v lsr 16);
+    byte b (v lsr 24)
+
+  let string_raw = Buffer.add_string
+
+  let string_ b s =
+    varint b (String.length s);
+    string_raw b s
+
+  let contents = Buffer.contents
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  exception Short of string
+  (* truncated / malformed input; the codecs translate this into their
+     own error reporting (a WAL tail cut here is expected, a snapshot
+     cut here is corruption) *)
+
+  type t = { buf : string; mutable pos : int; limit : int }
+
+  let of_string ?(pos = 0) ?len buf =
+    let limit = match len with None -> String.length buf | Some l -> pos + l in
+    if pos < 0 || limit > String.length buf then invalid_arg "Codec.Reader.of_string";
+    { buf; pos; limit }
+
+  let pos r = r.pos
+
+  let remaining r = r.limit - r.pos
+
+  let byte r =
+    if r.pos >= r.limit then raise (Short "byte");
+    let v = Char.code r.buf.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let varint r =
+    let rec go shift acc =
+      if shift > 62 then raise (Short "varint overflow");
+      let b = byte r in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let opt_varint r = match varint r with 0 -> None | v -> Some (v - 1)
+
+  let u32 r =
+    let a = byte r in
+    let b = byte r in
+    let c = byte r in
+    let d = byte r in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+  let take r len =
+    if len < 0 || len > remaining r then raise (Short "take");
+    let s = String.sub r.buf r.pos len in
+    r.pos <- r.pos + len;
+    s
+
+  let string_ r =
+    let len = varint r in
+    if len > remaining r then raise (Short "string");
+    take r len
+end

@@ -1,0 +1,59 @@
+(** Binary primitives shared by the snapshot and WAL codecs.
+
+    Deterministic by construction: the encoding of a value is a pure
+    function of the value, so snapshots of equal engine states are
+    byte-identical (the crash-matrix tests rely on it). *)
+
+val crc32 : string -> int
+(** IEEE CRC-32 (the zlib polynomial) of the whole string, as a
+    non-negative int. *)
+
+val crc32_sub : string -> pos:int -> len:int -> int
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128.  @raise Invalid_argument on negatives: every
+      integer the durable layer persists is a count or an index. *)
+
+  val opt_varint : t -> int option -> unit
+  (** [None] as [0], [Some v] as [v + 1]. *)
+
+  val u32 : t -> int -> unit
+  (** Fixed-width little-endian 32-bit (lengths and CRCs, so a torn tail
+      is detected by size arithmetic alone). *)
+
+  val string_raw : t -> string -> unit
+  (** Raw bytes, no length prefix (frame payloads whose length travels
+      in a fixed-width field). *)
+
+  val string_ : t -> string -> unit
+  val contents : t -> string
+end
+
+module Reader : sig
+  exception Short of string
+  (** Truncated or malformed input.  Callers translate: a WAL tail cut
+      here is an expected torn write; a snapshot cut here is
+      corruption. *)
+
+  type t
+
+  val of_string : ?pos:int -> ?len:int -> string -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val byte : t -> int
+  val varint : t -> int
+  val opt_varint : t -> int option
+  val u32 : t -> int
+
+  val take : t -> int -> string
+  (** Exactly [len] raw bytes (frame payloads, whose length travels in a
+      fixed-width field outside the payload). *)
+
+  val string_ : t -> string
+end

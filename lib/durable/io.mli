@@ -1,0 +1,44 @@
+(** Crash-instrumented, retrying I/O primitives.
+
+    The durable layer's only route to the filesystem.  Raw [Unix]
+    descriptors (no stdlib channel buffering: a finalizer flush would
+    make simulated crashes {e more} durable than real ones), transient
+    failures (EINTR/EAGAIN, short writes) retried with a bounded linear
+    backoff, ENOSPC and persistent failures surfaced as the typed
+    {!error}, and every potentially-torn instant announced to
+    {!Crashpoint}. *)
+
+type error =
+  | No_space of string  (** ENOSPC while writing the named file *)
+  | Io_error of string  (** transient error that survived the bounded retry *)
+  | Corrupt of string  (** durable state damaged beyond every fallback *)
+
+exception Error of error
+
+val error_message : error -> string
+
+val fail : error -> 'a
+(** [raise (Error e)]. *)
+
+val write_all : name:string -> Unix.file_descr -> Bytes.t -> unit
+(** Write every byte, looping over short writes.  Crash site
+    [name.write] (with torn-prefix semantics: an armed hit writes half
+    the bytes for real, then raises). *)
+
+val fsync : name:string -> Unix.file_descr -> unit
+(** Crash site [name.fsync]; durability may be claimed only after this
+    returns. *)
+
+val fsync_dir : string -> unit
+(** Make renames/creations in the directory durable (best-effort where
+    the filesystem refuses directory fsync).  Crash site [dir.fsync]. *)
+
+val rename : src:string -> dst:string -> unit
+(** Atomic install step.  Crash site [rename]. *)
+
+val openfile : name:string -> string -> Unix.open_flag list -> int -> Unix.file_descr
+
+val close_noerr : Unix.file_descr -> unit
+
+val read_file : name:string -> string -> string option
+(** Whole-file read; [None] if the file does not exist. *)

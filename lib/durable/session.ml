@@ -1,0 +1,331 @@
+(* The durable-session driver: an [Rdt_check.Online] engine whose state
+   survives being killed at any instant.
+
+   Layout of a session directory:
+
+     wal-<g>.log    events observed while snapshot generation [g] was
+                    the newest installed one (g = 0: since the fresh
+                    engine).  Segments are never deleted, so a
+                    full-WAL replay from generation 0 always remains
+                    the fallback of last resort.
+     snap-<g>.bin   engine export after [base_events g] events; only
+                    the newest [keep_snapshots] generations are kept.
+
+   Write order at a snapshot install (every crash window in between is
+   covered by the recovery scan):
+
+     1. sync the active segment          (events durable before the
+                                          snapshot claims to cover them)
+     2. Snapshot.install (tmp -> fsync -> rename -> dir fsync)
+     3. create wal-<g+1> (header, fsync)
+     4. switch writers, close the old segment
+     5. prune snapshot generations older than the kept window
+
+   Recovery tries, in order: newest snapshot + replay of segments from
+   its generation up; each older snapshot likewise; a full replay from
+   wal-0; and only when every chain fails raises the typed
+   [Io.Error (Corrupt _)].  A chain failure is any of: snapshot CRC /
+   decode failure, [Online.Inconsistent] during restore or replay, a
+   missing or header-damaged segment in the middle of the chain, or an
+   events-seen discontinuity between segments.  Known-bad snapshot
+   files are deleted after a successful recovery. *)
+
+module Online = Rdt_check.Online
+module Trace = Rdt_obs.Trace
+module Meter = Rdt_obs.Meter
+
+type config = { snapshot_every : int; wal_fsync_every : int; keep_snapshots : int }
+
+let default_config = { snapshot_every = 1000; wal_fsync_every = 32; keep_snapshots = 2 }
+
+type recovery = {
+  restored_gen : int option;  (** snapshot used; [None] = full-WAL replay *)
+  replayed_events : int;
+  skipped : (int * string) list;  (** snapshot generations that failed, newest first *)
+  torn : (int * string) list;  (** segments whose tail was cut *)
+}
+
+let pp_recovery ppf r =
+  (match r.restored_gen with
+  | Some g -> Format.fprintf ppf "restored snapshot generation %d" g
+  | None -> Format.fprintf ppf "no usable snapshot; full WAL replay");
+  Format.fprintf ppf ", replayed %d event%s" r.replayed_events
+    (if r.replayed_events = 1 then "" else "s");
+  List.iter
+    (fun (g, why) -> Format.fprintf ppf "@\nskipped snapshot generation %d: %s" g why)
+    r.skipped;
+  List.iter
+    (fun (g, why) -> Format.fprintf ppf "@\ntruncated torn tail of segment %d: %s" g why)
+    r.torn
+
+type t = {
+  dir : string;
+  config : config;
+  meter : Meter.t;
+  track_open : bool;
+  mutable engine : Online.t;
+  mutable wal : Wal.writer;
+  mutable base_events : int;  (** events covered by the newest snapshot *)
+  mutable unsynced : int;
+  mutable closed : bool;
+}
+
+let engine t = t.engine
+
+let dir t = t.dir
+
+let generation t = Wal.gen t.wal
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A recovery chain that cannot proceed; recovery falls back to the next
+   older snapshot (and eventually to full replay). *)
+exception Chain_failed of string
+
+let clean_tmp dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".tmp" then
+        try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+(* The newest segment's header can be torn by a crash during segment
+   creation; at that point none of its events were durable (appends only
+   start after the header fsync returns) and everything it would cover
+   is still in the previous segment, so deleting it is safe.  A damaged
+   header anywhere *else* is real corruption and must fail the chains
+   that cross it. *)
+let drop_unreadable_last_segment ~dir segs =
+  match List.rev segs with
+  | [] -> []
+  | last :: _ -> (
+      match Wal.read ~dir ~gen:last with
+      | Ok _ -> segs
+      | Error _ ->
+          Wal.remove ~dir ~gen:last;
+          List.filter (fun g -> g <> last) segs)
+
+(* Replay segments [start_gen, start_gen+1, ...] (all that exist) into
+   [engine].  Returns (events replayed, torn notes, last segment's
+   generation and valid length — [None] when no segment >= start_gen
+   exists). *)
+let replay_chain ~dir ~segs ~start_gen engine =
+  let chain = List.filter (fun g -> g >= start_gen) segs in
+  let replayed = ref 0 in
+  let torn = ref [] in
+  let last = ref None in
+  List.iteri
+    (fun i g ->
+      if g <> start_gen + i then
+        raise (Chain_failed (Printf.sprintf "WAL segment %d missing" (start_gen + i)));
+      match Wal.read ~dir ~gen:g with
+      | Error why -> raise (Chain_failed why)
+      | Ok rr ->
+          if rr.Wal.header.Wal.base_events <> Online.events_seen engine then
+            raise
+              (Chain_failed
+                 (Printf.sprintf "segment %d starts at event %d but engine holds %d" g
+                    rr.Wal.header.Wal.base_events (Online.events_seen engine)));
+          (try List.iter (Online.observe engine) rr.Wal.events
+           with Online.Inconsistent why ->
+             raise (Chain_failed (Printf.sprintf "replay of segment %d: %s" g why)));
+          replayed := !replayed + List.length rr.Wal.events;
+          (match rr.Wal.torn with
+          | Some why ->
+              if i < List.length chain - 1 then
+                (* a tear in the *middle* of the chain means later
+                   segments' events sit on top of lost ones *)
+                raise (Chain_failed (Printf.sprintf "segment %d torn mid-chain: %s" g why))
+              else torn := (g, why) :: !torn
+          | None -> ());
+          last := Some (g, rr.Wal.valid_len))
+    chain;
+  (!replayed, List.rev !torn, !last)
+
+(* One candidate chain: restore [snapshot] (None = fresh engine needing
+   wal-0's header for its geometry) and replay forward. *)
+let try_chain ~dir ~segs snapshot =
+  match snapshot with
+  | Some gen -> (
+      match Snapshot.load ~dir ~gen with
+      | Error why -> Error why
+      | Ok export -> (
+          match Online.restore export with
+          | exception Online.Inconsistent why -> Error ("restore: " ^ why)
+          | engine -> (
+              try
+                let replayed, torn, last = replay_chain ~dir ~segs ~start_gen:gen engine in
+                Ok (engine, export.Online.Export.track_open, replayed, torn, last, gen)
+              with Chain_failed why -> Error why)))
+  | None -> (
+      (* full replay: wal-0 must exist and its header provides n *)
+      if not (List.mem 0 segs) then Error "no WAL segment 0 for a full replay"
+      else
+        match Wal.read ~dir ~gen:0 with
+        | Error why -> Error why
+        | Ok rr -> (
+            let h = rr.Wal.header in
+            let engine = Online.create ~track_open:h.Wal.track_open ~n:h.Wal.n () in
+            try
+              let replayed, torn, last = replay_chain ~dir ~segs ~start_gen:0 engine in
+              Ok (engine, h.Wal.track_open, replayed, torn, last, 0)
+            with Chain_failed why -> Error why))
+
+let recover ~dir ~segs ~snaps =
+  let rec go skipped = function
+    | [] -> (
+        match try_chain ~dir ~segs None with
+        | Ok (engine, track_open, replayed, torn, last, base_gen) ->
+            ( engine,
+              track_open,
+              last,
+              base_gen,
+              { restored_gen = None; replayed_events = replayed; skipped = List.rev skipped; torn }
+            )
+        | Error why ->
+            Io.fail
+              (Io.Corrupt
+                 (String.concat "; "
+                    (List.rev_map (fun (g, w) -> Printf.sprintf "snapshot %d: %s" g w) skipped
+                    @ [ "full replay: " ^ why ]))))
+    | gen :: older -> (
+        match try_chain ~dir ~segs (Some gen) with
+        | Ok (engine, track_open, replayed, torn, last, base_gen) ->
+            ( engine,
+              track_open,
+              last,
+              base_gen,
+              {
+                restored_gen = Some gen;
+                replayed_events = replayed;
+                skipped = List.rev skipped;
+                torn;
+              } )
+        | Error why -> go ((gen, why) :: skipped) older)
+  in
+  let engine, track_open, last, base_gen, info = go [] snaps in
+  (* dispose of snapshots proven bad — they must not shadow good ones
+     on the next recovery *)
+  List.iter (fun (g, _) -> Snapshot.remove ~dir ~gen:g) info.skipped;
+  (engine, track_open, last, base_gen, info)
+
+(* ------------------------------------------------------------------ *)
+(* Opening                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make ~dir ~config ~meter ~track_open ~engine ~wal ~base_events =
+  { dir; config; meter; track_open; engine; wal; base_events; unsynced = 0; closed = false }
+
+let open_ ?(config = default_config) ?(meter = Meter.default) ~dir ~n ~track_open () =
+  if config.snapshot_every < 1 then invalid_arg "Session.open_: snapshot_every < 1";
+  if config.wal_fsync_every < 1 then invalid_arg "Session.open_: wal_fsync_every < 1";
+  if config.keep_snapshots < 2 then invalid_arg "Session.open_: keep_snapshots < 2";
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  clean_tmp dir;
+  (* a directory whose only content was a header-torn newest segment
+     (crash during the very first writes) counts as empty: nothing in it
+     was ever durable *)
+  let segs = drop_unreadable_last_segment ~dir (Wal.segments ~dir) in
+  let snaps = Snapshot.generations ~dir in
+  if segs = [] && snaps = [] then begin
+    let engine = Online.create ~track_open ~n () in
+    let wal =
+      Wal.create ~dir ~gen:0 ~header:{ Wal.gen = 0; base_events = 0; n; track_open }
+    in
+    (make ~dir ~config ~meter ~track_open ~engine ~wal ~base_events:0, None)
+  end
+  else begin
+    let engine, rec_track_open, last, base_gen, info = recover ~dir ~segs ~snaps in
+    if Online.n engine <> n then
+      Io.fail
+        (Io.Corrupt
+           (Printf.sprintf "durable state is for %d processes, this run has %d"
+              (Online.n engine) n));
+    if rec_track_open <> track_open then
+      Io.fail (Io.Corrupt "durable state disagrees on open-interval tracking");
+    Meter.add meter "recovery.replayed_events" info.replayed_events;
+    (* reopen (or recreate) the segment appends continue into *)
+    let wal, base_events =
+      match last with
+      | Some (g, valid_len) ->
+          (* base of the active segment = events its snapshot covers *)
+          let base =
+            match Wal.read ~dir ~gen:g with
+            | Ok rr -> rr.Wal.header.Wal.base_events
+            | Error _ -> Online.events_seen engine
+          in
+          (Wal.reopen ~dir ~gen:g ~valid_len, base)
+      | None ->
+          (* snapshot installed but its segment never created *)
+          ( Wal.create ~dir ~gen:base_gen
+              ~header:
+                {
+                  Wal.gen = base_gen;
+                  base_events = Online.events_seen engine;
+                  n;
+                  track_open;
+                },
+            Online.events_seen engine )
+    in
+    (make ~dir ~config ~meter ~track_open ~engine ~wal ~base_events, Some info)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Steady state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sync t =
+  Wal.flush t.wal;
+  if t.unsynced > 0 then begin
+    Wal.sync t.wal;
+    Meter.incr t.meter "wal.fsync";
+    t.unsynced <- 0
+  end
+
+let prune_snapshots t =
+  match Snapshot.generations ~dir:t.dir with
+  | [] -> ()
+  | gens ->
+      List.iteri (fun i g -> if i >= t.config.keep_snapshots then Snapshot.remove ~dir:t.dir ~gen:g) gens
+
+let install_snapshot t =
+  Meter.time t.meter "durable.snapshot" (fun () ->
+      sync t;
+      let gen = Wal.gen t.wal + 1 in
+      let seen = Online.events_seen t.engine in
+      Snapshot.install ~dir:t.dir ~gen (Online.export t.engine);
+      let wal =
+        Wal.create ~dir:t.dir ~gen
+          ~header:
+            { Wal.gen; base_events = seen; n = Online.n t.engine; track_open = t.track_open }
+      in
+      let old = t.wal in
+      t.wal <- wal;
+      t.base_events <- seen;
+      Wal.close old;
+      prune_snapshots t)
+
+let observe t ev =
+  if t.closed then invalid_arg "Session.observe: closed";
+  Online.observe t.engine ev;
+  let bytes = Wal.append t.wal ev in
+  Meter.add t.meter "wal.bytes" bytes;
+  t.unsynced <- t.unsynced + 1;
+  if t.unsynced >= t.config.wal_fsync_every then sync t;
+  if Online.events_seen t.engine - t.base_events >= t.config.snapshot_every then
+    install_snapshot t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    sync t;
+    Wal.close t.wal
+  end
+
+let abort t =
+  if not t.closed then begin
+    t.closed <- true;
+    Wal.abort t.wal
+  end

@@ -1,0 +1,227 @@
+(* Append-only write-ahead log of observed trace events, one segment
+   per snapshot generation.
+
+   [wal-<gen>.log] holds the events observed while generation [gen] was
+   the newest installed snapshot (gen 0: since the fresh engine).  Each
+   segment starts with a header record naming the generation, the number
+   of events already covered by that snapshot and the engine geometry,
+   so a segment is self-describing and replay never guesses.
+
+   Every record — header and event alike — is framed
+
+     u32 LE   payload length
+     payload  (header: varint-packed; events: Trace JSONL line)
+     u32 LE   CRC-32 of the payload
+
+   A crash can tear the last frame; the reader stops at the longest
+   valid prefix and reports the tear, and the writer truncates it away
+   when the segment is reopened for append.  A damaged *header* is
+   different: nothing after it can be trusted, so the whole segment is
+   an error and recovery falls back a generation. *)
+
+module Trace = Rdt_obs.Trace
+
+let version = 1
+
+(* Frames beyond this are treated as torn garbage rather than attempted:
+   a single trace event is tiny, so a huge length field can only be a
+   corrupt frame header. *)
+let max_frame = 1 lsl 20
+
+type header = { gen : int; base_events : int; n : int; track_open : bool }
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u32 w (String.length payload);
+  Codec.Writer.string_raw w payload;
+  Codec.Writer.u32 w (Codec.crc32 payload);
+  Codec.Writer.contents w
+
+let encode_header h =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w version;
+  Codec.Writer.varint w h.gen;
+  Codec.Writer.varint w h.base_events;
+  Codec.Writer.varint w h.n;
+  Codec.Writer.byte w (if h.track_open then 1 else 0);
+  Codec.Writer.contents w
+
+let decode_header s =
+  match
+    let r = Codec.Reader.of_string s in
+    let v = Codec.Reader.varint r in
+    if v <> version then Error (Printf.sprintf "unsupported WAL version %d" v)
+    else begin
+      let gen = Codec.Reader.varint r in
+      let base_events = Codec.Reader.varint r in
+      let n = Codec.Reader.varint r in
+      let track_open = Codec.Reader.byte r <> 0 in
+      if Codec.Reader.remaining r <> 0 then Error "trailing bytes in WAL header"
+      else Ok { gen; base_events; n; track_open }
+    end
+  with
+  | v -> v
+  | exception Codec.Reader.Short what -> Error ("WAL header malformed: " ^ what)
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let filename ~gen = Printf.sprintf "wal-%d.log" gen
+
+let path ~dir ~gen = Filename.concat dir (filename ~gen)
+
+let parse_filename name =
+  match String.length name with
+  | l when l > 8 && String.sub name 0 4 = "wal-" && String.sub name (l - 4) 4 = ".log" ->
+      int_of_string_opt (String.sub name 4 (l - 8))
+  | _ -> None
+
+let segments ~dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map parse_filename
+  |> List.sort Int.compare
+
+let remove ~dir ~gen = try Sys.remove (path ~dir ~gen) with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type read_result = {
+  header : header;
+  events : Trace.event list;
+  valid_len : int;  (** byte length of the longest valid prefix *)
+  torn : string option;  (** why reading stopped before end-of-file, if it did *)
+}
+
+(* Pull one frame; [Ok None] is a clean end-of-file, [Error] a tear. *)
+let read_frame r =
+  if Codec.Reader.remaining r = 0 then Ok None
+  else
+    match
+      let len = Codec.Reader.u32 r in
+      if len > max_frame then Error (Printf.sprintf "frame length %d exceeds limit" len)
+      else begin
+        let body = Codec.Reader.take r len in
+        let crc = Codec.Reader.u32 r in
+        if crc <> Codec.crc32 body then Error "frame CRC mismatch"
+        else Ok (Some body)
+      end
+    with
+    | v -> v
+    | exception Codec.Reader.Short _ -> Error "frame torn at end of segment"
+
+let read ~dir ~gen =
+  match Io.read_file ~name:"wal" (path ~dir ~gen) with
+  | None -> Error (Printf.sprintf "WAL segment %d does not exist" gen)
+  | Some s -> (
+      let r = Codec.Reader.of_string s in
+      match read_frame r with
+      | Ok None -> Error (Printf.sprintf "WAL segment %d is empty" gen)
+      | Error why -> Error (Printf.sprintf "WAL segment %d header unreadable: %s" gen why)
+      | Ok (Some hdr_payload) -> (
+          match decode_header hdr_payload with
+          | Error why -> Error (Printf.sprintf "WAL segment %d: %s" gen why)
+          | Ok header ->
+              let events = ref [] in
+              let valid_len = ref (Codec.Reader.pos r) in
+              let torn = ref None in
+              let rec loop () =
+                match read_frame r with
+                | Ok None -> ()
+                | Error why -> torn := Some why
+                | Ok (Some payload) -> (
+                    match Trace.decode payload with
+                    | Error why ->
+                        (* CRC passed but the payload is not an event:
+                           not a torn write, still untrustworthy — stop
+                           here exactly as for a tear. *)
+                        torn := Some ("undecodable event record: " ^ why)
+                    | Ok ev ->
+                        events := ev :: !events;
+                        valid_len := Codec.Reader.pos r;
+                        loop ())
+              in
+              loop ();
+              Ok { header; events = List.rev !events; valid_len = !valid_len; torn = !torn }))
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  fd : Unix.file_descr;
+  wgen : int;
+  pending : Buffer.t;  (** framed records not yet written to the fd *)
+  mutable unsynced : int;  (** records written or pending since the last fsync *)
+  mutable closed : bool;
+}
+
+let gen w = w.wgen
+
+let create ~dir ~gen:g ~header:h =
+  let p = path ~dir ~gen:g in
+  let fd = Io.openfile ~name:p p [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let w = { fd; wgen = g; pending = Buffer.create 4096; unsynced = 0; closed = false } in
+  (try
+     Io.write_all ~name:"wal" fd (Bytes.of_string (frame (encode_header { h with gen = g })));
+     Io.fsync ~name:"wal" fd;
+     Io.fsync_dir dir
+   with exn ->
+     Io.close_noerr fd;
+     raise exn);
+  w
+
+(* Reopen an existing segment for append, discarding a torn tail found
+   by {!read}. *)
+let reopen ~dir ~gen:g ~valid_len =
+  let p = path ~dir ~gen:g in
+  let fd = Io.openfile ~name:p p [ Unix.O_WRONLY ] 0o644 in
+  (try
+     Unix.ftruncate fd valid_len;
+     ignore (Unix.lseek fd valid_len Unix.SEEK_SET)
+   with exn ->
+     Io.close_noerr fd;
+     raise exn);
+  { fd; wgen = g; pending = Buffer.create 4096; unsynced = 0; closed = false }
+
+let append w ev =
+  let record = frame (Trace.encode ev) in
+  Buffer.add_string w.pending record;
+  w.unsynced <- w.unsynced + 1;
+  String.length record
+
+let flush w =
+  if Buffer.length w.pending > 0 then begin
+    let bytes = Buffer.to_bytes w.pending in
+    Buffer.clear w.pending;
+    Io.write_all ~name:"wal" w.fd bytes
+  end
+
+let sync w =
+  flush w;
+  if w.unsynced > 0 then begin
+    Io.fsync ~name:"wal" w.fd;
+    w.unsynced <- 0
+  end
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    (try sync w
+     with exn ->
+       Io.close_noerr w.fd;
+       raise exn);
+    Io.close_noerr w.fd
+  end
+
+let abort w =
+  if not w.closed then begin
+    w.closed <- true;
+    Io.close_noerr w.fd
+  end

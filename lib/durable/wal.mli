@@ -1,0 +1,76 @@
+(** Append-only write-ahead log of observed trace events, one segment
+    per snapshot generation.
+
+    [wal-<gen>.log] holds the events observed while snapshot generation
+    [gen] was the newest installed one (gen 0: since the fresh engine).
+    Records are length-prefixed and CRC-checked; a crash can tear the
+    final frame, which {!read} detects and stops before, and {!reopen}
+    truncates away.  A damaged {e header} record invalidates the whole
+    segment ([Error] from {!read}), forcing recovery down a
+    generation. *)
+
+type header = {
+  gen : int;
+  base_events : int;  (** events already covered by snapshot [gen] *)
+  n : int;
+  track_open : bool;
+}
+
+val filename : gen:int -> string
+(** [wal-<gen>.log]. *)
+
+val path : dir:string -> gen:int -> string
+
+val segments : dir:string -> int list
+(** Segment generations present in [dir], oldest first (replay order). *)
+
+val remove : dir:string -> gen:int -> unit
+
+(** {1 Reading} *)
+
+type read_result = {
+  header : header;
+  events : Rdt_obs.Trace.event list;
+  valid_len : int;  (** byte length of the longest valid prefix *)
+  torn : string option;
+      (** why reading stopped before end-of-file, if it did (expected
+          after a crash; the tail past [valid_len] is garbage) *)
+}
+
+val read : dir:string -> gen:int -> (read_result, string) result
+
+(** {1 Writing} *)
+
+type writer
+
+val create : dir:string -> gen:int -> header:header -> writer
+(** Start segment [gen] (truncating any leftover), write its header
+    record and make it durable.  The [gen] field of [header] is
+    overridden with [gen].  @raise Io.Error on I/O failure; may raise
+    {!Crashpoint.Crash} under fault injection. *)
+
+val reopen : dir:string -> gen:int -> valid_len:int -> writer
+(** Reopen an existing segment for append, truncating the torn tail
+    found by {!read}. *)
+
+val gen : writer -> int
+
+val append : writer -> Rdt_obs.Trace.event -> int
+(** Buffer one event record in memory ({!flush}/{!sync} move it to the
+    kernel / to stable storage); returns the record's framed size in
+    bytes (for metering). *)
+
+val flush : writer -> unit
+
+val sync : writer -> unit
+(** Flush, then fsync if anything was appended since the last sync.
+    Durability of appended events may be claimed only after this
+    returns. *)
+
+val close : writer -> unit
+(** Sync, then close (idempotent). *)
+
+val abort : writer -> unit
+(** Close {e without} flushing the pending buffer — the crash-simulation
+    teardown: the un-flushed tail must stay lost, exactly as a real kill
+    would leave it. *)

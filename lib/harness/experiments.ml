@@ -838,6 +838,96 @@ let table_online ?report ?(min_events = 5_000) () =
     ];
   t
 
+(* ------------------------------------------------------------------ *)
+(* BENCH-DURABLE: cost of crash-safe checker state                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Scratch directory without ambient randomness: the path is a function
+   of the pid and a counter, both irrelevant to simulation output. *)
+let scratch_counter = ref 0
+
+let scratch_dir () =
+  incr scratch_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "rdt-durable-bench-%d-%d" (Unix.getpid ()) !scratch_counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let table_durable ?report ?(min_events = 5_000) () =
+  let protocol = Registry.find_exn "bhmr" in
+  let env = Rdt_workloads.Registry.find_exn "random" in
+  let tr = Rdt_obs.Trace.ring ~capacity:(8 * min_events) in
+  ignore
+    (Runtime.run (Runtime.configure ~n:8 ~seed:1 ~messages:(min_events / 2) ~trace:tr env protocol));
+  let events = Rdt_obs.Trace.events tr in
+  let nev = List.length events in
+  let n =
+    match Rdt_check.Online.trace_process_count events with
+    | Ok n -> n
+    | Error e -> invalid_arg ("Experiments.table_durable: " ^ e)
+  in
+  (* baseline: the same stream through a plain in-memory engine *)
+  let t0 = Rdt_obs.Meter.now () in
+  let baseline =
+    match Rdt_check.Online.check_trace events with
+    | Ok t -> Rdt_check.Online.summary t
+    | Error e -> invalid_arg ("Experiments.table_durable: inconsistent trace: " ^ e)
+  in
+  let online_s = Rdt_obs.Meter.now () -. t0 in
+  (* durable: WAL every event, a snapshot generation every nev/8 *)
+  let dir = scratch_dir () in
+  rm_rf dir;
+  let config =
+    { Rdt_durable.Session.default_config with Rdt_durable.Session.snapshot_every = max 1 (nev / 8) }
+  in
+  let t0 = Rdt_obs.Meter.now () in
+  let s, _ = Rdt_durable.Session.open_ ~config ~dir ~n ~track_open:true () in
+  List.iter (Rdt_durable.Session.observe s) events;
+  Rdt_durable.Session.close s;
+  let durable_s = Rdt_obs.Meter.now () -. t0 in
+  let snapshots = Rdt_durable.Session.generation s in
+  assert (Rdt_check.Online.summary (Rdt_durable.Session.engine s) = baseline);
+  (* recover from what just hit the disk: only the tail past the last
+     snapshot replays, and the verdict must be the uninterrupted one *)
+  let s2, info = Rdt_durable.Session.open_ ~config ~dir ~n ~track_open:true () in
+  assert (Rdt_check.Online.summary (Rdt_durable.Session.engine s2) = baseline);
+  Rdt_durable.Session.close s2;
+  let replayed =
+    match info with
+    | Some i -> i.Rdt_durable.Session.replayed_events
+    | None -> invalid_arg "Experiments.table_durable: durable directory came back empty"
+  in
+  rm_rf dir;
+  let durable_ns = 1e9 *. durable_s /. float_of_int (max 1 nev) in
+  let online_ns = 1e9 *. online_s /. float_of_int (max 1 nev) in
+  let overhead = durable_s /. Float.max 1e-9 online_s in
+  (match report with
+  | None -> ()
+  | Some rp ->
+      Bench_report.add rp ~table:"BENCH-DURABLE" ~protocol:"bhmr" ~env:"random" ~seed:1
+        ~seconds:durable_s;
+      Bench_report.add_micro rp ~name:"durable.ns_per_event" ~ns:durable_ns;
+      Bench_report.add_micro rp ~name:"durable.overhead_vs_online" ~ns:overhead);
+  let t =
+    Table.create
+      ~header:[ "events"; "ns/event durable"; "ns/event online"; "overhead"; "snapshots"; "tail replayed" ]
+  in
+  Table.add_row t
+    [
+      string_of_int nev;
+      Table.cell_f durable_ns;
+      Table.cell_f online_ns;
+      Table.cell_f overhead;
+      string_of_int snapshots;
+      string_of_int replayed;
+    ];
+  t
+
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   let t0 = Rdt_obs.Meter.now () in
@@ -875,5 +965,8 @@ let run_all ?(quick = false) ?jobs ?report () =
   Format.printf
     "@.== BENCH-ONLINE: amortized per-event cost of the incremental checker (bhmr, n=8) ==@.";
   Table.print (table_online ?report ());
+  Format.printf
+    "@.== BENCH-DURABLE: cost of crash-safe checker state (WAL + snapshots, bhmr, n=8) ==@.";
+  Table.print (table_durable ?report ());
   (match report with Some r -> Bench_report.set_wall r (Rdt_obs.Meter.now () -. t0) | None -> ());
   Format.print_flush ()

@@ -120,6 +120,19 @@ val table_online : ?report:Bench_report.t -> ?min_events:int -> unit -> Table.t
     feed the [checker.online] span and [checker.online_events] counter
     via the metered {!Rdt_core.Checker.run} entry point. *)
 
+val table_durable : ?report:Bench_report.t -> ?min_events:int -> unit -> Table.t
+(** BENCH-DURABLE (extension): per-event cost of crash-safe checker
+    state ({!Rdt_durable.Session}: write-ahead log + periodic snapshot
+    generations) against the plain in-memory engine on the same
+    >= [min_events]-event trace, plus a recovery pass over what was just
+    written (asserting the recovered summary equals the uninterrupted
+    one).  With [?report], records the [BENCH-DURABLE] cell and the
+    [durable.ns_per_event] / [durable.overhead_vs_online] micros; the
+    session itself meters the [durable.snapshot] span and the
+    [wal.fsync] / [wal.bytes] / [recovery.replayed_events] counters into
+    {!Rdt_obs.Meter.default}, which {!Bench_report.record_obs} snapshots
+    into [BENCH_results.json]. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit

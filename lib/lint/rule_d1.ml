@@ -7,11 +7,16 @@
      allowlist names the sanctioned file).
    - Unix.gettimeofday / Unix.time / Sys.time are banned outside
      Rdt_obs.Meter / Bench_report: measurement flows through Meter.now.
+   - Unix.sleep / Unix.sleepf make control flow depend on real time;
+     the only legitimate use is I/O-retry backoff in the durable layer
+     (sanctioned line-precisely in .rdtlint), which can delay disk
+     writes but never influence simulation output.
    - Hashtbl.iter / Hashtbl.fold enumerate buckets in unspecified order;
      call sites must go through Rdt_dist.Tbl's sorted traversals (or be
      explicitly allowlisted when the order provably cannot escape). *)
 
 let clock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+let sleep = [ "Unix.sleep"; "Unix.sleepf" ]
 let unordered = [ "Hashtbl.iter"; "Hashtbl.fold" ]
 
 let check (ctx : Rule.ctx) structure =
@@ -36,6 +41,13 @@ let check (ctx : Rule.ctx) structure =
               (Printf.sprintf
                  "%s: wall clock outside Rdt_obs.Meter/Bench_report; use Rdt_obs.Meter.now \
                   (measurement must never influence simulation output)"
+                 n)
+          else if Scan.matches_any n sleep then
+            report
+              (Printf.sprintf
+                 "%s: real-time pacing makes control flow depend on the wall clock; only the \
+                  durable layer's bounded I/O-retry backoff is sanctioned (line-precise \
+                  allowlist entry)"
                  n)
           else
             match Scan.find_target n unordered with

@@ -37,7 +37,10 @@ let collectible t ~line =
   if Array.length line <> Pattern.n t.pat then invalid_arg "Storage.collectible: bad line";
   let out = ref [] in
   for i = Pattern.n t.pat - 1 downto 0 do
-    for x = min (line.(i) - 1) (Array.length t.stable.(i) - 1) downto 0 do
+    (* never the initial checkpoint: [stable_line]'s per-process bound
+       assumes [C_{i,0}] is always available, and a line of all zeros
+       must remain a valid recovery target after any collection *)
+    for x = min (line.(i) - 1) (Array.length t.stable.(i) - 1) downto 1 do
       if t.stable.(i).(x) then out := (i, x) :: !out
     done
   done;

@@ -25,7 +25,9 @@ val stable_line : t -> int array
 
 val collectible : t -> line:int array -> Rdt_pattern.Types.ckpt_id list
 (** Checkpoints that a recovery line makes reclaimable: every stable
-    [C_{i,x}] with [x < line.(i)]. *)
+    [C_{i,x}] with [0 < x < line.(i)].  Initial checkpoints are never
+    collectible — {!stable_line} (and a recovery to the line of all
+    zeros) assumes [C_{i,0}] remains available forever. *)
 
 val collect : t -> line:int array -> int
 (** Reclaims them; returns how many were discarded. *)

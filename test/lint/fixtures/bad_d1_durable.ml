@@ -1,0 +1,9 @@
+(* D1 fixture: a would-be durable layer that reads ambient time and
+   entropy.  The real lib/durable is sanctioned *line-precisely* in
+   .rdtlint (one Unix.sleepf backoff site in io.ml); nothing here is,
+   so every site below must be reported — including the sleeps, which
+   the strict-parsed allowlist entry must not blanket-cover. *)
+
+let jittered_backoff () = Unix.sleepf (Random.float 0.01)
+let paced_retry seconds = Unix.sleep seconds
+let stamp_wal_record () = Unix.gettimeofday ()

@@ -1,0 +1,15 @@
+(* D1 fixture: durable-style code on the sanctioned routes — timestamps
+   through Meter.now, transient-I/O retries without wall-clock pacing,
+   deterministic crash injection instead of ambient entropy. *)
+
+let stamp () = Rdt_obs.Meter.now ()
+
+let retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Unix.Unix_error (Unix.EINTR, _, _) when attempt < 5 -> go (attempt + 1)
+  in
+  go 1
+
+let crash_site () = Rdt_durable.Crashpoint.hit "fixture"

@@ -1,0 +1,394 @@
+(* Crash-matrix suite for the durable checker state.
+
+   The recovery invariant under test: for EVERY crash point (each
+   fsync / rename / torn-write site the durable layer announces to
+   Crashpoint, hit in order) x snapshot interval x workload, killing the
+   session at exactly that instant, recovering in the same directory and
+   resuming the stream yields an engine whose summary, violations and
+   first-violation latch are identical to an uninterrupted run's — which
+   in turn agrees with the offline R-graph checker.  Recovery must also
+   leave the directory clean (no *.tmp residue).
+
+   On top of the exhaustive matrix: deliberate corruption (flipped CRC
+   bytes in the newest snapshot, all snapshots, torn WAL tails, damaged
+   wal-0) must degrade down the generation chain — older snapshot, then
+   full-WAL replay, then the typed Corrupt error — and never produce a
+   wrong verdict. *)
+
+module Runtime = Rdt_core.Runtime
+module Registry = Rdt_core.Registry
+module Checker = Rdt_core.Checker
+module Trace = Rdt_obs.Trace
+module Online = Rdt_check.Online
+module Codec = Rdt_durable.Codec
+module Crashpoint = Rdt_durable.Crashpoint
+module Io = Rdt_durable.Io
+module Snapshot = Rdt_durable.Snapshot
+module Wal = Rdt_durable.Wal
+module Session = Rdt_durable.Session
+
+let check = Alcotest.(check bool)
+
+let qt = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories (no ambient randomness: pid + counter)          *)
+(* ------------------------------------------------------------------ *)
+
+let scratch_counter = ref 0
+
+(* The crash matrix runs hundreds of full write-fsync-recover cycles;
+   on a disk-backed temp dir the fsyncs dominate the suite's wall clock
+   by two orders of magnitude.  The crashes are simulated (an exception,
+   not a kill), so tmpfs loses none of the semantics — prefer it. *)
+let scratch_base =
+  if Sys.file_exists "/dev/shm" && Sys.is_directory "/dev/shm" then "/dev/shm"
+  else Filename.get_temp_dir_name ()
+
+let scratch () =
+  incr scratch_counter;
+  Filename.concat scratch_base
+    (Printf.sprintf "rdt-test-durable-%d-%d" (Unix.getpid ()) !scratch_counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = scratch () in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let no_tmp_residue dir =
+  Sys.readdir dir |> Array.for_all (fun f -> not (Filename.check_suffix f ".tmp"))
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_of ~envname ~seed ~messages ~n protocol =
+  let tr = Trace.ring ~capacity:100_000 in
+  let env = Rdt_workloads.Registry.find_exn envname in
+  let r =
+    Runtime.run
+      { (Runtime.default_config env (Registry.find_exn protocol)) with
+        Runtime.n;
+        seed;
+        max_messages = messages;
+        trace = tr;
+      }
+  in
+  (Trace.events tr, r.Runtime.pattern)
+
+type expected = {
+  summary : Online.summary;
+  violations : Online.violation list;
+  n : int;
+}
+
+let uninterrupted events =
+  match Online.trace_process_count events with
+  | Error e -> Alcotest.fail e
+  | Ok n -> (
+      match Online.check_trace events with
+      | Error e -> Alcotest.fail e
+      | Ok t -> { summary = Online.summary t; violations = Online.violations t; n })
+
+let config interval = { Session.default_config with Session.snapshot_every = interval }
+
+let feed_from s events =
+  let skip = Online.events_seen (Session.engine s) in
+  List.iteri (fun i ev -> if i >= skip then Session.observe s ev) events
+
+let assert_equal_state label exp engine =
+  if Online.summary engine <> exp.summary then
+    Alcotest.failf "%s: recovered summary %s, uninterrupted %s" label
+      (Format.asprintf "%a" Online.pp_summary (Online.summary engine))
+      (Format.asprintf "%a" Online.pp_summary exp.summary);
+  check (label ^ ": violations equal") true (Online.violations engine = exp.violations);
+  check (label ^ ": first-violation latch equal") true
+    (Online.first_violation engine = exp.summary.Online.first_violation)
+
+(* Run the whole stream durably with no crash; returns the crash-site
+   hit count of the complete run (the matrix bound). *)
+let dry_run ~dir ~interval ~exp events =
+  Crashpoint.reset ();
+  let s, info = Session.open_ ~config:(config interval) ~dir ~n:exp.n ~track_open:true () in
+  check "fresh directory" true (info = None);
+  feed_from s events;
+  Session.close s;
+  assert_equal_state "uninterrupted durable run" exp (Session.engine s);
+  Crashpoint.hits ()
+
+(* Kill at the [k]th crash-site hit, then recover-and-resume — possibly
+   through a second kill at the same global count if the armed hit lands
+   in the recovery's own writes. *)
+let crash_at ~dir ~interval ~exp events k =
+  rm_rf dir;
+  Crashpoint.reset ();
+  Crashpoint.arm ~at:k;
+  let crashed = ref false in
+  (try
+     let s, _ = Session.open_ ~config:(config interval) ~dir ~n:exp.n ~track_open:true () in
+     match feed_from s events with
+     | () -> Session.close s
+     | exception Crashpoint.Crash _ ->
+         crashed := true;
+         Session.abort s
+   with Crashpoint.Crash _ -> crashed := true);
+  Crashpoint.disarm ();
+  if not !crashed then Alcotest.failf "site %d never hit" k;
+  let s, _info = Session.open_ ~config:(config interval) ~dir ~n:exp.n ~track_open:true () in
+  check "resume point within the stream" true
+    (Online.events_seen (Session.engine s) <= List.length events);
+  feed_from s events;
+  Session.close s;
+  assert_equal_state (Printf.sprintf "crash at site %d" k) exp (Session.engine s);
+  check (Printf.sprintf "site %d: no tmp residue" k) true (no_tmp_residue dir)
+
+let matrix_case ~envname ~protocol ~seed ~messages ~n ~intervals () =
+  let events, pat = trace_of ~envname ~seed ~messages ~n protocol in
+  let exp = uninterrupted events in
+  (* the stream verdict must agree with the offline R-graph oracle on
+     the finished pattern *)
+  check "uninterrupted = offline R-graph oracle" true
+    ((Checker.run ~algo:`Rgraph pat).Checker.rdt = exp.summary.Online.rdt);
+  List.iter
+    (fun interval ->
+      with_dir (fun dir ->
+          let sites = dry_run ~dir ~interval ~exp events in
+          check "the run crosses crash sites" true (sites > 0);
+          for k = 1 to sites do
+            crash_at ~dir ~interval ~exp events k
+          done;
+          Crashpoint.reset ()))
+    intervals
+
+(* Exhaustive on every site for the two cheaper workloads ... *)
+let test_matrix_random = matrix_case ~envname:"random" ~protocol:"bhmr" ~seed:11 ~messages:40 ~n:4 ~intervals:[ 1; 7; 64 ]
+
+let test_matrix_group = matrix_case ~envname:"group" ~protocol:"bhmr" ~seed:3 ~messages:40 ~n:4 ~intervals:[ 7; 64 ]
+
+let test_matrix_client_server =
+  matrix_case ~envname:"client-server" ~protocol:"none" ~seed:5 ~messages:40 ~n:4
+    ~intervals:[ 1; 64 ]
+
+(* ... and sampled by QCheck over (workload, interval, site) for bigger
+   streams, where exhausting every site would be O(sites^2). *)
+let qcheck_crash_matrix =
+  let events_tbl = Hashtbl.create 8 in
+  let events_for envname protocol seed =
+    let key = (envname, protocol, seed) in
+    match Hashtbl.find_opt events_tbl key with
+    | Some v -> v
+    | None ->
+        let events, _ = trace_of ~envname ~seed ~messages:80 ~n:5 protocol in
+        let v = (events, uninterrupted events) in
+        Hashtbl.add events_tbl key v;
+        v
+  in
+  let gen =
+    QCheck.Gen.(
+      triple
+        (oneofl [ ("random", "bhmr", 21); ("group", "bhmr", 22); ("client-server", "fdas", 23) ])
+        (oneofl [ 1; 7; 64 ])
+        (int_range 1 5000))
+  in
+  QCheck.Test.make ~count:40 ~name:"recovered = uninterrupted at random crash sites"
+    (QCheck.make gen) (fun ((envname, protocol, seed), interval, site_raw) ->
+      let events, exp = events_for envname protocol seed in
+      with_dir (fun dir ->
+          let sites = dry_run ~dir ~interval ~exp events in
+          let k = 1 + (site_raw mod sites) in
+          crash_at ~dir ~interval ~exp events k;
+          Crashpoint.reset ();
+          true))
+
+(* ------------------------------------------------------------------ *)
+(* Deliberate corruption                                               *)
+(* ------------------------------------------------------------------ *)
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  let pos = pos mod len in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let durable_run ~dir ~interval events exp =
+  let s, _ = Session.open_ ~config:(config interval) ~dir ~n:exp.n ~track_open:true () in
+  feed_from s events;
+  Session.close s;
+  s
+
+let recover_and_check ~dir events exp =
+  let s, info = Session.open_ ~config:(config 7) ~dir ~n:exp.n ~track_open:true () in
+  feed_from s events;
+  Session.close s;
+  assert_equal_state "after corruption" exp (Session.engine s);
+  check "no tmp residue" true (no_tmp_residue dir);
+  info
+
+let test_corrupt_newest_snapshot () =
+  let events, _ = trace_of ~envname:"random" ~seed:31 ~messages:60 ~n:4 "bhmr" in
+  let exp = uninterrupted events in
+  with_dir (fun dir ->
+      ignore (durable_run ~dir ~interval:7 events exp);
+      let gens = Snapshot.generations ~dir in
+      check "several generations kept" true (List.length gens >= 2);
+      let newest = List.hd gens in
+      (* flip a payload byte: the stored CRC no longer matches *)
+      flip_byte (Snapshot.path ~dir ~gen:newest) 40;
+      match recover_and_check ~dir events exp with
+      | None -> Alcotest.fail "no recovery happened"
+      | Some info ->
+          check "degraded below the newest generation" true
+            (match info.Session.restored_gen with Some g -> g < newest | None -> true);
+          check "the corrupt generation is reported" true
+            (List.mem_assoc newest info.Session.skipped);
+          check "the corrupt file is disposed of" true
+            (not (List.mem newest (Snapshot.generations ~dir))))
+
+let test_corrupt_all_snapshots_full_replay () =
+  let events, _ = trace_of ~envname:"random" ~seed:32 ~messages:60 ~n:4 "bhmr" in
+  let exp = uninterrupted events in
+  with_dir (fun dir ->
+      ignore (durable_run ~dir ~interval:7 events exp);
+      List.iter (fun g -> flip_byte (Snapshot.path ~dir ~gen:g) 25) (Snapshot.generations ~dir);
+      match recover_and_check ~dir events exp with
+      | None -> Alcotest.fail "no recovery happened"
+      | Some info ->
+          check "fell back to a full WAL replay" true (info.Session.restored_gen = None);
+          check "replayed the whole durable prefix" true
+            (info.Session.replayed_events > 0))
+
+let test_corrupt_beyond_recovery () =
+  let events, _ = trace_of ~envname:"random" ~seed:33 ~messages:40 ~n:4 "bhmr" in
+  let exp = uninterrupted events in
+  with_dir (fun dir ->
+      ignore (durable_run ~dir ~interval:7 events exp);
+      List.iter (fun g -> flip_byte (Snapshot.path ~dir ~gen:g) 25) (Snapshot.generations ~dir);
+      (* damage wal-0's header record too: no chain left *)
+      flip_byte (Wal.path ~dir ~gen:0) 6;
+      match Session.open_ ~config:(config 7) ~dir ~n:exp.n ~track_open:true () with
+      | _ -> Alcotest.fail "corrupt-beyond-recovery state was accepted"
+      | exception Io.Error (Io.Corrupt _) -> ())
+
+let test_torn_wal_tail () =
+  let events, _ = trace_of ~envname:"random" ~seed:34 ~messages:60 ~n:4 "bhmr" in
+  let exp = uninterrupted events in
+  with_dir (fun dir ->
+      ignore (durable_run ~dir ~interval:1000 events exp);
+      (* a torn frame: length prefix promising more than is there *)
+      let path = Wal.path ~dir ~gen:0 in
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\xff\x00\x00\x00half-a-record";
+      close_out oc;
+      (match Wal.read ~dir ~gen:0 with
+      | Error e -> Alcotest.fail e
+      | Ok rr -> check "tear detected" true (rr.Wal.torn <> None));
+      ignore (recover_and_check ~dir events exp);
+      (* the reopen truncated the tear away: a third open is clean *)
+      match Wal.read ~dir ~gen:0 with
+      | Error e -> Alcotest.fail e
+      | Ok rr -> check "tail truncated on reopen" true (rr.Wal.torn = None))
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_codec_roundtrip () =
+  let w = Codec.Writer.create () in
+  let ints = [ 0; 1; 127; 128; 255; 16384; 1 lsl 30; max_int ] in
+  List.iter (Codec.Writer.varint w) ints;
+  Codec.Writer.opt_varint w None;
+  Codec.Writer.opt_varint w (Some 0);
+  Codec.Writer.opt_varint w (Some 4096);
+  Codec.Writer.u32 w 0;
+  Codec.Writer.u32 w 0xFFFFFFFF;
+  Codec.Writer.u32 w 0xDEADBEEF;
+  Codec.Writer.string_ w "";
+  Codec.Writer.string_ w "frame payload";
+  let r = Codec.Reader.of_string (Codec.Writer.contents w) in
+  List.iter (fun v -> Alcotest.(check int) "varint" v (Codec.Reader.varint r)) ints;
+  check "opt none" true (Codec.Reader.opt_varint r = None);
+  check "opt zero" true (Codec.Reader.opt_varint r = Some 0);
+  check "opt big" true (Codec.Reader.opt_varint r = Some 4096);
+  Alcotest.(check int) "u32 zero" 0 (Codec.Reader.u32 r);
+  Alcotest.(check int) "u32 max" 0xFFFFFFFF (Codec.Reader.u32 r);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Codec.Reader.u32 r);
+  check "empty string" true (Codec.Reader.string_ r = "");
+  check "string" true (Codec.Reader.string_ r = "frame payload");
+  Alcotest.(check int) "fully consumed" 0 (Codec.Reader.remaining r);
+  check "negative varint rejected" true
+    (match Codec.Writer.varint (Codec.Writer.create ()) (-1) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* IEEE CRC-32 known answer ("123456789" -> 0xCBF43926) *)
+  Alcotest.(check int) "crc32 vector" 0xCBF43926 (Codec.crc32 "123456789")
+
+let test_snapshot_codec () =
+  let events, _ = trace_of ~envname:"group" ~seed:41 ~messages:50 ~n:4 "bhmr" in
+  let exp = uninterrupted events in
+  let engine =
+    let t = Online.create ~n:exp.n () in
+    List.iter (Online.observe t) events;
+    t
+  in
+  let e = Online.export engine in
+  let img = Snapshot.encode e in
+  (match Snapshot.decode img with
+  | Error why -> Alcotest.fail why
+  | Ok e' ->
+      check "decode inverts encode" true (e' = e);
+      check "restored answers identically" true
+        (Online.summary (Online.restore e') = exp.summary));
+  check "deterministic encoding" true (Snapshot.encode (Online.export (Online.restore e)) = img);
+  (* flipping any sampled byte must yield Error, never a wrong export *)
+  String.iteri
+    (fun i _ ->
+      if i mod 7 = 0 then begin
+        let b = Bytes.of_string img in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+        match Snapshot.decode (Bytes.to_string b) with
+        | Error _ -> ()
+        | Ok e' ->
+            if e' <> e then Alcotest.failf "byte %d: corrupt snapshot decoded to a different export" i
+      end)
+    img
+
+let () =
+  Alcotest.run "rdt_durable"
+    [
+      ( "crash-matrix",
+        [
+          Alcotest.test_case "random x bhmr, every site x {1,7,64}" `Quick test_matrix_random;
+          Alcotest.test_case "group x bhmr, every site x {7,64}" `Quick test_matrix_group;
+          Alcotest.test_case "client-server x none, every site x {1,64}" `Quick
+            test_matrix_client_server;
+          qt qcheck_crash_matrix;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "flipped byte in newest snapshot degrades" `Quick
+            test_corrupt_newest_snapshot;
+          Alcotest.test_case "all snapshots bad: full WAL replay" `Quick
+            test_corrupt_all_snapshots_full_replay;
+          Alcotest.test_case "beyond recovery: typed Corrupt error" `Quick
+            test_corrupt_beyond_recovery;
+          Alcotest.test_case "torn WAL tail is truncated" `Quick test_torn_wal_tail;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "primitives roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "snapshot image roundtrip and tamper-evidence" `Quick
+            test_snapshot_codec;
+        ] );
+    ]

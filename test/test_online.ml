@@ -286,6 +286,72 @@ let test_rollback_retraction () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "stream ending mid-cascade accepted"
 
+(* A stream that ends mid-cascade must name *every* orphaned message in
+   its error (parity with Replay.rebuild), not just the first one the
+   table iteration happened to yield. *)
+let test_orphan_end_reports_all () =
+  (match
+     Online.check_trace
+       [
+         Trace.Ckpt { pid = 0; index = 1; kind = T.Basic; time = 0; tdv = None; preds = [] };
+         Trace.Send { msg = 4; src = 0; dst = 1; time = 1 };
+         Trace.Send { msg = 2; src = 0; dst = 1; time = 2 };
+         Trace.Deliver { msg = 4; src = 0; dst = 1; time = 3 };
+         Trace.Deliver { msg = 2; src = 0; dst = 1; time = 4 };
+         Trace.Rollback { pid = 0; to_index = 1; time = 5 };
+       ]
+   with
+  | Ok _ -> Alcotest.fail "stream ending with two orphans accepted"
+  | Error e ->
+      Alcotest.(check string)
+        "all orphan ids, sorted" "surviving deliveries of rolled-back sends 2, 4" e);
+  match
+    Online.check_trace
+      [
+        Trace.Send { msg = 9; src = 0; dst = 1; time = 1 };
+        Trace.Deliver { msg = 9; src = 0; dst = 1; time = 2 };
+        Trace.Rollback { pid = 0; to_index = 0; time = 3 };
+      ]
+  with
+  | Ok _ -> Alcotest.fail "stream ending with one orphan accepted"
+  | Error e ->
+      Alcotest.(check string) "singular form" "surviving delivery of rolled-back send 9" e
+
+(* Export/restore: the recovered engine must answer every query exactly
+   like the exporting one — including mid-cascade orphans, the latched
+   first violation and the rebuild count — and keep agreeing on the rest
+   of the stream. *)
+let test_export_restore_roundtrip () =
+  List.iter
+    (fun (pname, envname, seed) ->
+      let tr = Trace.ring ~capacity:100_000 in
+      ignore (Runtime.run (runtime_config ~envname ~seed ~trace:tr (Registry.find_exn pname)));
+      let events = Trace.events tr in
+      let total = List.length events in
+      List.iter
+        (fun cut ->
+          let prefix = List.filteri (fun i _ -> i < cut) events in
+          let rest = List.filteri (fun i _ -> i >= cut) events in
+          match Online.trace_process_count events with
+          | Error e -> Alcotest.fail e
+          | Ok n ->
+              let live = Online.create ~n () in
+              List.iter (Online.observe live) prefix;
+              let restored = Online.restore (Online.export live) in
+              check "summary equal at the cut" true (Online.summary restored = Online.summary live);
+              check "violations equal at the cut" true
+                (Online.violations restored = Online.violations live);
+              check "orphans equal at the cut" true
+                (Online.orphan_messages restored = Online.orphan_messages live);
+              List.iter (Online.observe live) rest;
+              List.iter (Online.observe restored) rest;
+              check "summary equal at the end" true
+                (Online.summary restored = Online.summary live);
+              check "export idempotent" true
+                (Online.export restored = Online.export live))
+        [ 0; 1; total / 3; total / 2; total - 1; total ])
+    [ ("bhmr", "random", 5); ("none", "group", 2) ]
+
 let test_trackable_matches_tdv () =
   let tr = Trace.ring ~capacity:100_000 in
   let r = Runtime.run (runtime_config ~envname:"group" ~seed:3 ~trace:tr (Registry.find_exn "bhmr")) in
@@ -369,6 +435,9 @@ let () =
         [
           Alcotest.test_case "prefix verdicts = offline oracle" `Quick test_prefix_oracle;
           Alcotest.test_case "rollback retraction and latch" `Quick test_rollback_retraction;
+          Alcotest.test_case "orphaned stream end names every orphan" `Quick
+            test_orphan_end_reports_all;
+          Alcotest.test_case "export/restore roundtrip" `Quick test_export_restore_roundtrip;
           Alcotest.test_case "trackable = TDV replay" `Quick test_trackable_matches_tdv;
           Alcotest.test_case "runtime online observer" `Quick test_runtime_online_field;
           Alcotest.test_case "impossible streams rejected" `Quick test_inconsistent_streams_rejected;

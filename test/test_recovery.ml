@@ -260,11 +260,39 @@ let test_storage_gc () =
   let total = Storage.stable_count s in
   let line = Array.init 3 (fun i -> P.last_index pat i) in
   let reclaimed = Storage.collect s ~line in
-  Alcotest.(check int) "reclaims all but the line"
-    (total - 3)
+  Alcotest.(check int) "reclaims all but the line and the initials"
+    (total - 6)
     reclaimed;
   check "line survivors stable" true
     (Array.to_list line |> List.mapi (fun i x -> Storage.is_stable s (i, x)) |> List.for_all Fun.id)
+
+(* Regression: [collect] used to reclaim the initial checkpoints too,
+   after which [stable_line] would report a per-process bound whose base
+   [C_{i,0}] was gone — a line recovery could not actually restore. *)
+let test_storage_gc_keeps_initials () =
+  let pat = run ~protocol:"bhmr" ~envname:"random" ~n:3 ~messages:150 ~seed:23 in
+  let s = Storage.create pat in
+  P.iter_ckpts pat (fun c -> Storage.make_stable s (c.T.owner, c.T.index));
+  let line = Array.init 3 (fun i -> P.last_index pat i) in
+  check "initials never collectible" true
+    (Storage.collectible s ~line |> List.for_all (fun (_, x) -> x > 0));
+  ignore (Storage.collect s ~line);
+  for i = 0 to 2 do
+    check "initial still stable after collect" true (Storage.is_stable s (i, 0))
+  done;
+  (* the line stable_line now reports must be fully backed by storage *)
+  let sl = Storage.stable_line s in
+  Array.iteri
+    (fun i x ->
+      for y = 0 to x do
+        check "stable_line is backed down to its base" true (Storage.is_stable s (i, y))
+      done)
+    sl;
+  (* and collecting again with that line must be a no-op on its base *)
+  ignore (Storage.collect s ~line:sl);
+  for i = 0 to 2 do
+    check "initial survives repeated collection" true (Storage.is_stable s (i, 0))
+  done
 
 let () =
   Alcotest.run "rdt_recovery"
@@ -300,5 +328,6 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_storage_basics;
           Alcotest.test_case "garbage collection" `Quick test_storage_gc;
+          Alcotest.test_case "gc keeps initial checkpoints" `Quick test_storage_gc_keeps_initials;
         ] );
     ]
