@@ -91,6 +91,35 @@ let partition_conv =
   in
   Arg.conv (parse, print)
 
+let intermittent_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf "bad intermittent link %S (expected HOST:FROM-TO:UP/DOWN, e.g. 2:0-8000:150/350)" s))
+    in
+    match String.split_on_char ':' s with
+    | [ host; window; cycle ] -> (
+        match (String.split_on_char '-' window, String.split_on_char '/' cycle) with
+        | [ a; b ], [ up; down ] -> (
+            try
+              Ok
+                {
+                  Rdt_dist.Faults.host = int_of_string host;
+                  from_t = int_of_string a;
+                  to_t = int_of_string b;
+                  up = int_of_string up;
+                  down = int_of_string down;
+                }
+            with Failure _ -> fail ())
+        | _ -> fail ())
+    | _ -> fail ()
+  in
+  let print ppf (l : Rdt_dist.Faults.intermittent) =
+    Format.fprintf ppf "%d:%d-%d:%d/%d" l.host l.from_t l.to_t l.up l.down
+  in
+  Arg.conv (parse, print)
+
 let faults_term =
   let drop =
     Arg.(
@@ -124,6 +153,15 @@ let faults_term =
           ~doc:"Cut the comma-separated processes off from everyone else between the two \
                 instants, e.g. $(b,3:4000-6000) (repeatable).")
   in
+  let intermittent =
+    Arg.(
+      value
+      & opt_all intermittent_conv []
+      & info [ "intermittent" ] ~docv:"HOST:FROM-TO:UP/DOWN"
+          ~doc:"Give the host a mobile-style flapping link: inside the window its links \
+                repeat UP connected instants then DOWN severed ones, e.g. \
+                $(b,2:0-8000:150/350) (repeatable).")
+  in
   let retx_timeout =
     Arg.(
       value
@@ -137,7 +175,7 @@ let faults_term =
       & info [ "max-retx" ] ~docv:"K"
           ~doc:"Retransmissions before a message is abandoned as undeliverable.")
   in
-  let mk drop dup reorder reorder_window partitions retx_timeout max_retx =
+  let mk drop dup reorder reorder_window partitions intermittent retx_timeout max_retx =
     let spec =
       {
         Rdt_dist.Faults.drop;
@@ -145,6 +183,7 @@ let faults_term =
         reorder;
         reorder_window = (if reorder > 0.0 then reorder_window else 0);
         partitions;
+        intermittent;
       }
     in
     let params = { Rdt_dist.Transport.default_params with retx_timeout; max_retx } in
@@ -155,7 +194,8 @@ let faults_term =
     (spec, transport)
   in
   Term.(
-    const mk $ drop $ dup $ reorder $ reorder_window $ partition $ retx_timeout $ max_retx)
+    const mk $ drop $ dup $ reorder $ reorder_window $ partition $ intermittent $ retx_timeout
+    $ max_retx)
 
 let config ?trace ?online env protocol n seed messages (faults, transport) =
   Rdt_core.Runtime.configure ~n ~seed ~messages ~faults ?transport ?trace ?online
@@ -378,7 +418,7 @@ let table_cmd =
   let table_names =
     [
       "protocols"; "overhead"; "claim"; "mingcp"; "ablation"; "recovery"; "coordinated";
-      "breakeven"; "goodput"; "faults"; "online"; "durable";
+      "breakeven"; "goodput"; "faults"; "online"; "durable"; "fuzz";
     ]
   in
   let names_arg =
@@ -447,6 +487,9 @@ let table_cmd =
         | "durable" ->
             hdr "BENCH-DURABLE: cost of crash-safe checker state (WAL + snapshots, bhmr, n=8)";
             Rdt_harness.Table.print (E.table_durable ~report ())
+        | "fuzz" ->
+            hdr "BENCH-FUZZ: adversarial scenario fuzzer throughput (mixed protocols)";
+            Rdt_harness.Table.print (E.table_fuzz ~jobs ~report ())
         | _ -> assert false)
       names;
     Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
@@ -862,6 +905,172 @@ let watch_cmd =
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
       $ file_arg $ durable_arg $ snapshot_every_arg $ pace_arg)
 
+let fuzz_cmd =
+  let doc = "Fuzz the whole stack with generated adversarial scenarios." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates $(b,--budget) scenarios — workload, protocol, channel model, network \
+         faults (drops, duplicates, reordering, partitions, intermittent mobile-style \
+         links) and crash/recovery schedules — each derived deterministically from \
+         $(b,--seed) and its index, and executes every one with the online checker tee'd \
+         into the live trace.  Each run is audited against the offline checkers, the \
+         brute-force oracle (small runs), and a trace-replay round-trip; the first failing \
+         scenario is shrunk to a 1-minimal counterexample and written out as a replayable \
+         scenario plus its JSONL trace.";
+      `P
+        "The campaign is bit-identical across runs and across $(b,--jobs) values.  Exits 0 \
+         when the budget is exhausted without a failure, 1 when a counterexample was found \
+         (or $(b,--minimize) reproduced one), 2 on input errors.";
+    ]
+  in
+  let budget_arg =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Scenarios to execute.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "protocols" ] ~docv:"NAMES"
+          ~doc:"Comma-separated protocol names to draw from (default: every protocol with \
+                an RDT guarantee).")
+  in
+  let envs_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "envs" ] ~docv:"NAMES"
+          ~doc:"Comma-separated environment names to draw from (default: all).")
+  in
+  let max_n_arg =
+    Arg.(value & opt int 6 & info [ "max-n" ] ~docv:"N" ~doc:"Largest process count drawn.")
+  in
+  let max_messages_arg =
+    Arg.(
+      value & opt int 150
+      & info [ "max-messages" ] ~docv:"M" ~doc:"Largest application-message budget drawn.")
+  in
+  let mutation_conv =
+    let parse s = Result.map_error (fun e -> `Msg e) (Rdt_fuzz.Exec.mutation_of_string s) in
+    let print ppf m = Format.pp_print_string ppf (Rdt_fuzz.Exec.mutation_name m) in
+    Arg.conv (parse, print)
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some mutation_conv) None
+      & info [ "mutate" ] ~docv:"MUTATION"
+          ~doc:
+            "Sanctioned fault injection into the checking pipeline, for exercising the \
+             find-then-shrink machinery on a healthy tree: $(b,hide-rollbacks) or \
+             $(b,flip-rgraph).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "fuzz-counterexample"
+      & info [ "out" ] ~docv:"PREFIX"
+          ~doc:"Write a found counterexample to $(docv).json and its trace to \
+                $(docv).trace.jsonl.")
+  in
+  let minimize_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "minimize" ] ~docv:"FILE"
+          ~doc:"Skip generation: load the scenario from $(docv), reproduce its failure and \
+                shrink it.")
+  in
+  let print_failure (f : Rdt_fuzz.Fuzzer.failure) =
+    Format.printf "counterexample (%s): %s@." (Rdt_fuzz.Exec.kind_name f.kind) f.detail;
+    Format.printf "  original (size %4d): %a@." (Rdt_fuzz.Scenario.size f.original)
+      Rdt_fuzz.Scenario.pp f.original;
+    Format.printf "  shrunk   (size %4d): %a@." (Rdt_fuzz.Scenario.size f.shrunk)
+      Rdt_fuzz.Scenario.pp f.shrunk;
+    Format.printf "  shrink: %d accepted steps, %d executions@." f.shrink.steps f.shrink.execs
+  in
+  let write_counterexample ?mutation out (f : Rdt_fuzz.Fuzzer.failure) =
+    Rdt_fuzz.Scenario.to_file (out ^ ".json") f.shrunk;
+    let rep = Rdt_fuzz.Exec.run ?mutation f.shrunk in
+    Out_channel.with_open_text (out ^ ".trace.jsonl") (fun oc ->
+        List.iter
+          (fun ev ->
+            output_string oc (Rdt_obs.Trace.encode ev);
+            output_char oc '\n')
+          rep.Rdt_fuzz.Exec.events);
+    Format.printf "scenario written to %s.json (replay: rdtsim fuzz --minimize %s.json%s)@." out
+      out
+      (match mutation with
+      | None -> ""
+      | Some m -> " --mutate " ^ Rdt_fuzz.Exec.mutation_name m);
+    Format.printf "trace written to %s.trace.jsonl@." out
+  in
+  let action seed budget protocols envs max_n max_messages jobs mutation out minimize =
+    let jobs = resolve_jobs jobs in
+    match minimize with
+    | Some file -> (
+        match Rdt_fuzz.Scenario.of_file file with
+        | Error e ->
+            Format.eprintf "rdtsim: %s@." e;
+            exit 2
+        | Ok sc -> (
+            match Rdt_fuzz.Fuzzer.minimize ?mutation sc with
+            | Error e ->
+                Format.printf "%s: %s@." file e;
+                exit (if e = "scenario passes all checks; nothing to minimize" then 0 else 2)
+            | Ok f ->
+                print_failure f;
+                write_counterexample ?mutation out f;
+                exit 1))
+    | None ->
+        let space =
+          let d = Rdt_fuzz.Scenario.default_space in
+          {
+            d with
+            Rdt_fuzz.Scenario.protocols = Option.value protocols ~default:d.protocols;
+            envs = Option.value envs ~default:d.envs;
+            max_n;
+            max_messages;
+          }
+        in
+        let cfg = { Rdt_fuzz.Fuzzer.seed; budget; space; mutation } in
+        Format.printf "fuzz: seed=%d budget=%d protocols=%s envs=%s max-n=%d max-messages=%d@."
+          seed budget
+          (String.concat "," space.Rdt_fuzz.Scenario.protocols)
+          (String.concat "," space.Rdt_fuzz.Scenario.envs)
+          max_n max_messages;
+        let t0 = Unix.gettimeofday () in
+        let mapper = { Rdt_fuzz.Fuzzer.map = (fun f xs -> Rdt_harness.Pool.map ~jobs f xs) } in
+        let rep = Rdt_fuzz.Fuzzer.run ~mapper cfg in
+        let dt = Unix.gettimeofday () -. t0 in
+        let c = rep.Rdt_fuzz.Fuzzer.counts in
+        Format.printf
+          "scenarios %d: ok %d, rdt-violations %d, checker-divergences %d, drain-failures %d, \
+           crashes %d@."
+          rep.Rdt_fuzz.Fuzzer.scenarios c.Rdt_fuzz.Fuzzer.ok c.Rdt_fuzz.Fuzzer.violations
+          c.Rdt_fuzz.Fuzzer.divergences c.Rdt_fuzz.Fuzzer.drain_failures
+          c.Rdt_fuzz.Fuzzer.crashes;
+        if rep.Rdt_fuzz.Fuzzer.scenarios > 0 then
+          Format.eprintf "executed %d scenarios in %.2f s (%.1f scenarios/s, jobs=%d)@."
+            rep.Rdt_fuzz.Fuzzer.scenarios dt
+            (float_of_int rep.Rdt_fuzz.Fuzzer.scenarios /. dt)
+            jobs;
+        match rep.Rdt_fuzz.Fuzzer.failure with
+        | None ->
+            Format.printf "no counterexample found (budget exhausted)@.";
+            exit 0
+        | Some f ->
+            Format.printf "counterexample at scenario #%d@." f.Rdt_fuzz.Fuzzer.index;
+            print_failure f;
+            write_counterexample ?mutation out f;
+            exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const action $ seed_arg $ budget_arg $ protocols_arg $ envs_arg $ max_n_arg
+      $ max_messages_arg $ jobs_arg $ mutate_arg $ out_arg $ minimize_arg)
+
 let list_cmd =
   let doc = "List available protocols and environments." in
   let action () =
@@ -884,7 +1093,7 @@ let main =
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
     [
       run_cmd; verify_cmd; experiments_cmd; table_cmd; recover_cmd; snapshot_cmd; twophase_cmd;
-      crashrun_cmd; trace_cmd; watch_cmd; list_cmd;
+      crashrun_cmd; trace_cmd; watch_cmd; fuzz_cmd; list_cmd;
     ]
 
 let () =

@@ -1,14 +1,25 @@
 type partition = { between : int list; from_t : int; to_t : int }
 
+type intermittent = { host : int; from_t : int; to_t : int; up : int; down : int }
+
 type spec = {
   drop : float;
   dup : float;
   reorder : float;
   reorder_window : int;
   partitions : partition list;
+  intermittent : intermittent list;
 }
 
-let none = { drop = 0.0; dup = 0.0; reorder = 0.0; reorder_window = 0; partitions = [] }
+let none =
+  {
+    drop = 0.0;
+    dup = 0.0;
+    reorder = 0.0;
+    reorder_window = 0;
+    partitions = [];
+    intermittent = [];
+  }
 
 let is_none s = s = none
 
@@ -36,14 +47,31 @@ let validate ~n s =
           Error "partition requires 0 <= from_t <= to_t"
         else check_partitions rest
   in
-  check_partitions s.partitions
+  check_partitions s.partitions >>= fun () ->
+  let rec check_intermittent = function
+    | [] -> Ok ()
+    | l :: rest ->
+        if l.host < 0 || l.host >= n then Error "intermittent link host out of range"
+        else if l.from_t < 0 || l.to_t < l.from_t then
+          Error "intermittent link requires 0 <= from_t <= to_t"
+        else if l.up < 1 || l.down < 1 then
+          Error "intermittent link requires up >= 1 and down >= 1"
+        else check_intermittent rest
+  in
+  check_intermittent s.intermittent
 
 let cuts s ~time ~src ~dst =
   List.exists
-    (fun p ->
+    (fun (p : partition) ->
       time >= p.from_t && time < p.to_t
       && List.mem src p.between <> List.mem dst p.between)
     s.partitions
+  || List.exists
+       (fun (l : intermittent) ->
+         (src = l.host || dst = l.host)
+         && time >= l.from_t && time < l.to_t
+         && (time - l.from_t) mod (l.up + l.down) >= l.up)
+       s.intermittent
 
 let pp ppf s =
   if is_none s then Format.fprintf ppf "reliable"
@@ -55,5 +83,9 @@ let pp ppf s =
         Format.fprintf ppf " partition{%s}@@[%d;%d)"
           (String.concat "," (List.map string_of_int p.between))
           p.from_t p.to_t)
-      s.partitions
+      s.partitions;
+    List.iter
+      (fun l ->
+        Format.fprintf ppf " flaky{%d}@@[%d;%d)%d/%d" l.host l.from_t l.to_t l.up l.down)
+      s.intermittent
   end

@@ -19,6 +19,17 @@ type partition = {
   to_t : int;  (** first instant at which the cut has healed (exclusive) *)
 }
 
+type intermittent = {
+  host : int;
+      (** the process whose links flap — the mobile host of the
+          checkpointing-for-mobile-systems literature, periodically walking
+          out of radio range *)
+  from_t : int;  (** first instant (inclusive) of the flapping window *)
+  to_t : int;  (** first instant past the window (exclusive) *)
+  up : int;  (** instants of connectivity opening each cycle; [>= 1] *)
+  down : int;  (** instants of disconnection closing each cycle; [>= 1] *)
+}
+
 type spec = {
   drop : float;  (** per-packet-copy loss probability, in [\[0;1\]] *)
   dup : float;  (** probability a packet is duplicated by the network *)
@@ -30,6 +41,10 @@ type spec = {
       (** the extra delay is drawn uniformly in [\[1; reorder_window\]];
           must be positive whenever [reorder > 0] *)
   partitions : partition list;
+  intermittent : intermittent list;
+      (** per-host flapping links: within [\[from_t; to_t)] every link
+          touching [host] repeats [up] connected instants followed by
+          [down] severed ones, starting connected at [from_t] *)
 }
 
 val none : spec
@@ -42,8 +57,9 @@ val validate : n:int -> spec -> (unit, string) result
     ([n] is the number of processes). *)
 
 val cuts : spec -> time:int -> src:int -> dst:int -> bool
-(** Is the (bidirectional) link between [src] and [dst] severed by an
-    active partition at [time]?  A transmission attempted at such an
-    instant is lost. *)
+(** Is the (bidirectional) link between [src] and [dst] severed at
+    [time] — by an active partition, or by an intermittent link of
+    either endpoint sitting in the down phase of its cycle?  A
+    transmission attempted at such an instant is lost. *)
 
 val pp : Format.formatter -> spec -> unit

@@ -1,0 +1,17 @@
+(** First-principles RDT verdict, for cross-checking the real checkers on
+    small patterns.
+
+    The oracle re-derives Definition 2.3 directly: it enumerates the
+    R-graph's edges (same-process order plus one edge per message),
+    decides reachability by naive DFS, and decides on-line trackability
+    of each reachable pair by an explicit causal-chain search — no TDV
+    mechanism, no doubling argument, no shared code with
+    {!Rdt_core.Checker}.  Exponential in spirit and quadratic in
+    checkpoints per query, so the executor gates it behind {!affordable}. *)
+
+val rdt : Rdt_pattern.Pattern.t -> bool
+(** Every R-path between distinct checkpoints is on-line trackable. *)
+
+val affordable : Rdt_pattern.Pattern.t -> bool
+(** Small enough to run the oracle on ([n <= 3], few checkpoints and
+    messages). *)

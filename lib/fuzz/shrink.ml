@@ -1,0 +1,133 @@
+module Faults = Rdt_dist.Faults
+module Meter = Rdt_obs.Meter
+
+type stats = { steps : int; execs : int }
+
+let remove_nth k l = List.filteri (fun i _ -> i <> k) l
+
+let map_nth k f l = List.mapi (fun i x -> if i = k then f x else x) l
+
+(* Candidate moves, most aggressive first: structural deletions, then
+   budget reductions, then schedule bisections.  Every candidate is
+   strictly smaller under Scenario.measure (checked again by the loop). *)
+let candidates (sc : Scenario.t) =
+  let f = sc.faults in
+  let drop_crashes =
+    List.init (List.length sc.crashes) (fun k -> { sc with crashes = remove_nth k sc.crashes })
+  in
+  let drop_partitions =
+    List.init (List.length f.Faults.partitions) (fun k ->
+        { sc with faults = { f with Faults.partitions = remove_nth k f.Faults.partitions } })
+  in
+  let drop_intermittent =
+    List.init (List.length f.Faults.intermittent) (fun k ->
+        { sc with faults = { f with Faults.intermittent = remove_nth k f.Faults.intermittent } })
+  in
+  let zero_rates =
+    (if f.Faults.drop > 0.0 then [ { sc with faults = { f with Faults.drop = 0.0 } } ] else [])
+    @ (if f.Faults.dup > 0.0 then [ { sc with faults = { f with Faults.dup = 0.0 } } ] else [])
+    @
+    if f.Faults.reorder > 0.0 then
+      [ { sc with faults = { f with Faults.reorder = 0.0; reorder_window = 0 } } ]
+    else []
+  in
+  let drop_transport =
+    if sc.transport && Faults.is_none f then [ { sc with transport = false } ] else []
+  in
+  let fewer_messages =
+    if sc.messages > 1 then
+      List.sort_uniq compare [ max 1 (sc.messages / 2); sc.messages - 1 ]
+      |> List.filter (fun m -> m < sc.messages)
+      |> List.map (fun m -> { sc with messages = m })
+    else []
+  in
+  let fewer_processes = if sc.n > 2 then [ Scenario.restrict sc ~n:(sc.n - 1) ] else [] in
+  let no_basics =
+    if sc.basic_period <> (0, 0) then [ { sc with basic_period = (0, 0) } ] else []
+  in
+  let earlier_crashes =
+    List.concat
+      (List.init (List.length sc.crashes) (fun k ->
+           let c = List.nth sc.crashes k in
+           (if c.Scenario.at > 0 then
+              [ { sc with crashes = map_nth k (fun c -> { c with Scenario.at = c.Scenario.at / 2 }) sc.crashes } ]
+            else [])
+           @
+           if c.Scenario.repair_delay > 1 then
+             [
+               {
+                 sc with
+                 crashes =
+                   map_nth k
+                     (fun c ->
+                       { c with Scenario.repair_delay = max 1 (c.Scenario.repair_delay / 2) })
+                     sc.crashes;
+               };
+             ]
+           else []))
+  in
+  let shorter_partitions =
+    List.concat
+      (List.init (List.length f.Faults.partitions) (fun k ->
+           let p = List.nth f.Faults.partitions k in
+           let halved =
+             { p with Faults.to_t = p.Faults.from_t + ((p.Faults.to_t - p.Faults.from_t) / 2) }
+           in
+           let earlier = { p with Faults.from_t = p.Faults.from_t / 2; to_t = p.Faults.to_t - ((p.Faults.from_t + 1) / 2) } in
+           List.filter_map
+             (fun p' ->
+               if p' <> p then
+                 Some { sc with faults = { f with Faults.partitions = map_nth k (fun _ -> p') f.Faults.partitions } }
+               else None)
+             [ halved; earlier ]))
+  in
+  let shorter_intermittent =
+    List.concat
+      (List.init (List.length f.Faults.intermittent) (fun k ->
+           let l = List.nth f.Faults.intermittent k in
+           let halved =
+             { l with Faults.to_t = l.Faults.from_t + ((l.Faults.to_t - l.Faults.from_t) / 2) }
+           in
+           if halved <> l then
+             [ { sc with faults = { f with Faults.intermittent = map_nth k (fun _ -> halved) f.Faults.intermittent } } ]
+           else []))
+  in
+  drop_crashes @ drop_partitions @ drop_intermittent @ zero_rates @ drop_transport
+  @ fewer_messages @ fewer_processes @ no_basics @ earlier_crashes @ shorter_partitions
+  @ shorter_intermittent
+
+let same_kind k = function Exec.Fail { kind; _ } -> kind = k | Exec.Pass -> false
+
+let minimize ?mutation sc0 =
+  let execs = ref 1 in
+  match Exec.classify ?mutation sc0 with
+  | Exec.Pass -> (sc0, Exec.Pass, { steps = 0; execs = !execs })
+  | Exec.Fail { kind; _ } as original ->
+      let steps = ref 0 in
+      let current = ref sc0 in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        let m = Scenario.measure !current in
+        let rec try_candidates = function
+          | [] -> ()
+          | cand :: rest ->
+              if
+                Scenario.measure cand < m
+                && Scenario.validate cand = Ok ()
+                && begin
+                     incr execs;
+                     same_kind kind (Exec.classify ?mutation cand)
+                   end
+              then begin
+                current := cand;
+                incr steps;
+                progress := true
+              end
+              else try_candidates rest
+        in
+        try_candidates (candidates !current)
+      done;
+      Meter.add Meter.default "fuzz.shrink_steps" !steps;
+      Meter.add Meter.default "fuzz.shrink_execs" !execs;
+      (!current, original, { steps = !steps; execs = !execs })

@@ -1,0 +1,27 @@
+(** Greedy scenario minimization.
+
+    Given a failing scenario, repeatedly try structurally smaller
+    variants — drop a crash or fault window, zero a fault rate, halve
+    the message budget, remove a process, bisect crash times and window
+    widths — re-executing each candidate deterministically and keeping
+    it only if it still fails with the {e same} classification.  Every
+    accepted step strictly decreases {!Scenario.measure}, so the loop
+    terminates at a scenario that is 1-minimal with respect to the
+    candidate moves: no single move both shrinks it and preserves the
+    failure.
+
+    Known limits: minimality is per-move, not global (a pair of moves
+    applied together might still shrink further), and the schedule
+    bisection only halves times toward zero, so an irreducible late
+    crash keeps its order of magnitude. *)
+
+type stats = {
+  steps : int;  (** accepted shrink moves *)
+  execs : int;  (** scenario executions spent (including rejected candidates) *)
+}
+
+val minimize : ?mutation:Exec.mutation -> Scenario.t -> Scenario.t * Exec.outcome * stats
+(** [minimize sc] classifies [sc] and, if it fails, shrinks it while the
+    failure kind is preserved; returns the minimized scenario, the
+    original classification, and the work spent.  A passing scenario is
+    returned unchanged. *)

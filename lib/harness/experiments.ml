@@ -928,6 +928,40 @@ let table_durable ?report ?(min_events = 5_000) () =
     ];
   t
 
+(* ------------------------------------------------------------------ *)
+(* BENCH-FUZZ: throughput of the adversarial scenario fuzzer            *)
+(* ------------------------------------------------------------------ *)
+
+let table_fuzz ?jobs ?report ?(budget = 80) () =
+  let mapper = { Rdt_fuzz.Fuzzer.map = (fun f xs -> Pool.map ?jobs f xs) } in
+  let cfg = { Rdt_fuzz.Fuzzer.default_config with budget } in
+  let t0 = Rdt_obs.Meter.now () in
+  let rep = Rdt_fuzz.Fuzzer.run ~mapper cfg in
+  let seconds = Rdt_obs.Meter.now () -. t0 in
+  (* the bench doubles as a sanity gate: on a healthy tree every
+     generated scenario must pass all cross-checks *)
+  (match rep.Rdt_fuzz.Fuzzer.failure with
+  | None -> ()
+  | Some f ->
+      invalid_arg
+        (Printf.sprintf "Experiments.table_fuzz: scenario #%d failed (%s): %s"
+           f.Rdt_fuzz.Fuzzer.index
+           (Rdt_fuzz.Exec.kind_name f.Rdt_fuzz.Fuzzer.kind)
+           f.Rdt_fuzz.Fuzzer.detail));
+  let c = rep.Rdt_fuzz.Fuzzer.counts in
+  assert (c.Rdt_fuzz.Fuzzer.ok = budget);
+  let per_sec = float_of_int budget /. Float.max 1e-9 seconds in
+  (match report with
+  | None -> ()
+  | Some rp ->
+      Bench_report.add rp ~table:"BENCH-FUZZ" ~protocol:"mixed" ~env:"mixed" ~seed:cfg.Rdt_fuzz.Fuzzer.seed
+        ~seconds;
+      Bench_report.add_micro rp ~name:"fuzz.scenarios_per_sec" ~ns:per_sec);
+  let t = Table.create ~header:[ "scenarios"; "ok"; "scenarios/s" ] in
+  Table.add_row t
+    [ string_of_int rep.Rdt_fuzz.Fuzzer.scenarios; string_of_int c.Rdt_fuzz.Fuzzer.ok; Table.cell_f per_sec ];
+  t
+
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   let t0 = Rdt_obs.Meter.now () in
@@ -968,5 +1002,7 @@ let run_all ?(quick = false) ?jobs ?report () =
   Format.printf
     "@.== BENCH-DURABLE: cost of crash-safe checker state (WAL + snapshots, bhmr, n=8) ==@.";
   Table.print (table_durable ?report ());
+  Format.printf "@.== BENCH-FUZZ: adversarial scenario fuzzer throughput (mixed protocols) ==@.";
+  Table.print (table_fuzz ?jobs ?report ~budget:(if quick then 40 else 80) ());
   (match report with Some r -> Bench_report.set_wall r (Rdt_obs.Meter.now () -. t0) | None -> ());
   Format.print_flush ()

@@ -133,6 +133,17 @@ val table_durable : ?report:Bench_report.t -> ?min_events:int -> unit -> Table.t
     {!Rdt_obs.Meter.default}, which {!Bench_report.record_obs} snapshots
     into [BENCH_results.json]. *)
 
+val table_fuzz : ?jobs:int -> ?report:Bench_report.t -> ?budget:int -> unit -> Table.t
+(** BENCH-FUZZ (extension): throughput of the adversarial scenario
+    fuzzer ({!Rdt_fuzz.Fuzzer}) over a [budget]-scenario campaign run on
+    the deterministic domain pool.  On a healthy tree every scenario
+    must pass all cross-checks; a failure raises [Invalid_argument] with
+    the scenario index and classification, making the bench double as a
+    regression gate.  With [?report], records the [BENCH-FUZZ] cell and
+    the [fuzz.scenarios_per_sec] micro; the campaign itself meters the
+    [fuzz.campaign] / [fuzz.exec] spans and the [fuzz.*] counters into
+    {!Rdt_obs.Meter.default}. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit

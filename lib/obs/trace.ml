@@ -167,166 +167,175 @@ let rec events t =
           match r.buf.((start + i) mod r.cap) with Some e -> e | None -> assert false)
 
 (* ------------------------------------------------------------------ *)
-(* JSONL decoding: a minimal JSON parser for the subset we emit         *)
+(* JSONL decoding: a minimal JSON parser for the subset we emit.  The   *)
+(* parser is exposed as [Json] so other layers (the fuzzer's scenario   *)
+(* files, external tooling) can read structured artifacts without       *)
+(* pulling in a JSON dependency.                                        *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | J_null
-  | J_bool of bool
-  | J_int of int
-  | J_float of float
-  | J_string of string
-  | J_array of json list
-  | J_obj of (string * json) list
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
 
-exception Parse_error of string
+  exception Parse_error of string
 
-let parse_json (s : string) : json =
-  let len = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c =
-    if !pos < len && s.[!pos] = c then advance ()
-    else fail (Printf.sprintf "expected %C" c)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= len then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            if !pos >= len then fail "dangling escape"
-            else begin
-              (match s.[!pos] with
-              | '"' -> Buffer.add_char buf '"'
-              | '\\' -> Buffer.add_char buf '\\'
-              | '/' -> Buffer.add_char buf '/'
-              | 'n' -> Buffer.add_char buf '\n'
-              | 't' -> Buffer.add_char buf '\t'
-              | 'r' -> Buffer.add_char buf '\r'
-              | 'b' -> Buffer.add_char buf '\b'
-              | 'f' -> Buffer.add_char buf '\012'
-              | 'u' ->
-                  if !pos + 4 >= len then fail "truncated \\u escape";
-                  let hex = String.sub s (!pos + 1) 4 in
-                  let code =
-                    try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
-                  in
-                  (* traces only escape control characters, so the code
-                     point is always in the single-byte range *)
-                  if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                  else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
-                  pos := !pos + 4
-              | c -> fail (Printf.sprintf "bad escape %C" c));
+  let parse_exn (s : string) : t =
+    let len = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < len && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= len then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+              advance ();
+              if !pos >= len then fail "dangling escape"
+              else begin
+                (match s.[!pos] with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | '/' -> Buffer.add_char buf '/'
+                | 'n' -> Buffer.add_char buf '\n'
+                | 't' -> Buffer.add_char buf '\t'
+                | 'r' -> Buffer.add_char buf '\r'
+                | 'b' -> Buffer.add_char buf '\b'
+                | 'f' -> Buffer.add_char buf '\012'
+                | 'u' ->
+                    if !pos + 4 >= len then fail "truncated \\u escape";
+                    let hex = String.sub s (!pos + 1) 4 in
+                    let code =
+                      try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape"
+                    in
+                    (* traces only escape control characters, so the code
+                       point is always in the single-byte range *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+                    pos := !pos + 4
+                | c -> fail (Printf.sprintf "bad escape %C" c));
+                advance ();
+                go ()
+              end
+          | c ->
+              Buffer.add_char buf c;
               advance ();
               go ()
-            end
-        | c ->
-            Buffer.add_char buf c;
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+      in
+      while !pos < len && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let lit = String.sub s start (!pos - start) in
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" lit))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> String (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
             advance ();
-            go ()
+            Obj []
+          end
+          else begin
+            let fields = ref [] in
+            let rec members () =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              fields := (k, v) :: !fields;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ()
+              | Some '}' -> advance ()
+              | _ -> fail "expected ',' or '}'"
+            in
+            members ();
+            Obj (List.rev !fields)
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let items = ref [] in
+            let rec elements () =
+              let v = parse_value () in
+              items := v :: !items;
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements ()
+              | Some ']' -> advance ()
+              | _ -> fail "expected ',' or ']'"
+            in
+            elements ();
+            Arr (List.rev !items)
+          end
+      | Some 't' when !pos + 4 <= len && String.sub s !pos 4 = "true" ->
+          pos := !pos + 4;
+          Bool true
+      | Some 'f' when !pos + 5 <= len && String.sub s !pos 5 = "false" ->
+          pos := !pos + 5;
+          Bool false
+      | Some 'n' when !pos + 4 <= len && String.sub s !pos 4 = "null" ->
+          pos := !pos + 4;
+          Null
+      | Some ('0' .. '9' | '-') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
     in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-    in
-    while !pos < len && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let lit = String.sub s start (!pos - start) in
-    match int_of_string_opt lit with
-    | Some i -> J_int i
-    | None -> (
-        match float_of_string_opt lit with
-        | Some f -> J_float f
-        | None -> fail (Printf.sprintf "bad number %S" lit))
-  in
-  let rec parse_value () =
+    let v = parse_value () in
     skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> J_string (parse_string ())
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          J_obj []
-        end
-        else begin
-          let fields = ref [] in
-          let rec members () =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            fields := (k, v) :: !fields;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ()
-            | Some '}' -> advance ()
-            | _ -> fail "expected ',' or '}'"
-          in
-          members ();
-          J_obj (List.rev !fields)
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          J_array []
-        end
-        else begin
-          let items = ref [] in
-          let rec elements () =
-            let v = parse_value () in
-            items := v :: !items;
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements ()
-            | Some ']' -> advance ()
-            | _ -> fail "expected ',' or ']'"
-          in
-          elements ();
-          J_array (List.rev !items)
-        end
-    | Some 't' when !pos + 4 <= len && String.sub s !pos 4 = "true" ->
-        pos := !pos + 4;
-        J_bool true
-    | Some 'f' when !pos + 5 <= len && String.sub s !pos 5 = "false" ->
-        pos := !pos + 5;
-        J_bool false
-    | Some 'n' when !pos + 4 <= len && String.sub s !pos 4 = "null" ->
-        pos := !pos + 4;
-        J_null
-    | Some ('0' .. '9' | '-') -> parse_number ()
-    | Some c -> fail (Printf.sprintf "unexpected %C" c)
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing characters";
-  v
+    if !pos <> len then fail "trailing characters";
+    v
+
+  let parse s = match parse_exn s with v -> Ok v | exception Parse_error e -> Error e
+
+  let member name = function Obj o -> List.assoc_opt name o | _ -> None
+end
 
 let decode line =
   let field obj name =
@@ -336,26 +345,26 @@ let decode line =
   in
   let int_f obj name =
     match field obj name with
-    | Ok (J_int i) -> Ok i
+    | Ok (Json.Int i) -> Ok i
     | Ok _ -> Error (Printf.sprintf "field %S is not an integer" name)
     | Error e -> Error e
   in
   let str_f obj name =
     match field obj name with
-    | Ok (J_string s) -> Ok s
+    | Ok (Json.String s) -> Ok s
     | Ok _ -> Error (Printf.sprintf "field %S is not a string" name)
     | Error e -> Error e
   in
   let bool_f obj name =
     match field obj name with
-    | Ok (J_bool b) -> Ok b
+    | Ok (Json.Bool b) -> Ok b
     | Ok _ -> Error (Printf.sprintf "field %S is not a boolean" name)
     | Error e -> Error e
   in
   let ( let* ) = Result.bind in
-  match parse_json line with
-  | exception Parse_error e -> Error e
-  | J_obj obj -> (
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok (Json.Obj obj) -> (
       let* ev = str_f obj "ev" in
       match ev with
       | "meta" ->
@@ -396,12 +405,12 @@ let decode line =
           let* preds =
             match List.assoc_opt "preds" obj with
             | None -> Ok []
-            | Some (J_array items) ->
+            | Some (Json.Arr items) ->
                 List.fold_right
                   (fun item acc ->
                     let* acc = acc in
                     match item with
-                    | J_string s -> Ok (s :: acc)
+                    | Json.String s -> Ok (s :: acc)
                     | _ -> Error "non-string predicate name")
                   items (Ok [])
             | Some _ -> Error "field \"preds\" is not an array"
@@ -409,12 +418,12 @@ let decode line =
           let* tdv =
             match List.assoc_opt "tdv" obj with
             | None -> Ok None
-            | Some (J_array items) ->
+            | Some (Json.Arr items) ->
                 let* l =
                   List.fold_right
                     (fun item acc ->
                       let* acc = acc in
-                      match item with J_int i -> Ok (i :: acc) | _ -> Error "non-integer TDV entry")
+                      match item with Json.Int i -> Ok (i :: acc) | _ -> Error "non-integer TDV entry")
                     items (Ok [])
                 in
                 Ok (Some (Array.of_list l))
@@ -443,7 +452,7 @@ let decode line =
           let* rdt = bool_f obj "rdt" in
           Ok (Verdict { checker; rdt })
       | k -> Error (Printf.sprintf "unknown event kind %S" k))
-  | _ -> Error "not a JSON object"
+  | Ok _ -> Error "not a JSON object"
 
 let read_file path =
   match In_channel.with_open_text path In_channel.input_lines with

@@ -112,6 +112,32 @@ val tee : t -> t -> t
 
 (** {1 JSONL codec} *)
 
+(** The minimal JSON reader behind {!decode}, exposed so other layers
+    (the fuzzer's scenario files, external tooling) can parse structured
+    artifacts of the same subset — objects, arrays, ints, floats, bools,
+    strings with the escapes {!encode} produces — without a JSON
+    dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  val parse_exn : string -> t
+  (** @raise Parse_error on malformed input (with the offset). *)
+
+  val parse : string -> (t, string) result
+
+  val member : string -> t -> t option
+  (** Field lookup; [None] on missing field or non-object. *)
+end
+
 val encode : event -> string
 (** One JSON object, no trailing newline. *)
 

@@ -135,6 +135,7 @@ let lossy =
     reorder = 0.05;
     reorder_window = 40;
     partitions = [ { Rdt_dist.Faults.between = [ 2 ]; from_t = 2000; to_t = 4500 } ];
+    intermittent = [];
   }
 
 let faulty_config ?transport ?(crashes = three_crashes) ?(envname = "random") pname =

@@ -78,7 +78,7 @@ let drive tp q delivered undeliv =
 
 let test_transport_fifo_exactly_once () =
   let faults =
-    { Faults.drop = 0.25; dup = 0.2; reorder = 0.3; reorder_window = 40; partitions = [] }
+    { Faults.none with drop = 0.25; dup = 0.2; reorder = 0.3; reorder_window = 40 }
   in
   let tp =
     Transport.create ~n:2 ~params:Transport.default_params ~faults

@@ -1,0 +1,44 @@
+(* Regression corpus for the fuzzer's executor.
+
+   Each [corpus/*.json] file is a committed {!Rdt_fuzz.Scenario}
+   distilled from a historical bug class of this repository — partition
+   windows exhausting the retransmission budget, duplicate/stale-ACK
+   races in the transport, draining in-flight traffic at the message
+   budget, rollback cascades retracting dependencies, violation ordering
+   under a non-RDT protocol, and flapping mobile-host links.  Every
+   entry must replay through the fully cross-checked executor and pass;
+   any failure is a regression in the simulator, a checker, or the
+   trace/replay machinery.
+
+   Shrunk counterexamples from future fuzz campaigns belong here: drop
+   the [.json] the fuzzer wrote into [corpus/] and this suite picks it
+   up by name. *)
+
+module Scenario = Rdt_fuzz.Scenario
+module Exec = Rdt_fuzz.Exec
+
+let corpus_dir = "corpus"
+
+let entries =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort String.compare
+
+let replay file () =
+  let path = Filename.concat corpus_dir file in
+  match Scenario.of_file path with
+  | Error e -> Alcotest.failf "%s: decode failed: %s" file e
+  | Ok sc -> (
+      (match Scenario.validate sc with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invalid scenario: %s" file e);
+      match Exec.classify sc with
+      | Exec.Pass -> ()
+      | Exec.Fail { kind; detail } ->
+          Alcotest.failf "%s: regression (%s): %s" file (Exec.kind_name kind) detail)
+
+let () =
+  if List.length entries < 6 then
+    failwith (Printf.sprintf "corpus has %d entries, expected at least 6" (List.length entries));
+  Alcotest.run "rdt_fuzz_corpus"
+    [ ("corpus", List.map (fun f -> Alcotest.test_case f `Quick (replay f)) entries) ]

@@ -175,6 +175,7 @@ let test_replay_under_faults () =
       reorder = 0.05;
       reorder_window = 40;
       partitions = [ { Rdt_dist.Faults.between = [ 1 ]; from_t = 1000; to_t = 2500 } ];
+      intermittent = [];
     }
   in
   List.iter

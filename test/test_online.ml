@@ -45,7 +45,8 @@ let runtime_config ?(n = 5) ?(messages = 150) ?(faults = Rdt_dist.Faults.none) ?
 
 let online_equals_rgraph_on_patterns =
   QCheck.Test.make ~name:"online report = rgraph report on random patterns" ~count:100
-    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+    Rdt_test_helpers.Gen.small_recipe_arbitrary (fun recipe ->
+      let pat = Rdt_test_helpers.Gen.pattern_of_recipe recipe in
       let off = Checker.run pat in
       let on = Checker.run ~algo:`Online pat in
       on.Checker.rdt = off.Checker.rdt
@@ -54,7 +55,8 @@ let online_equals_rgraph_on_patterns =
 
 let online_agrees_with_all_checkers =
   QCheck.Test.make ~name:"online verdict = chains = doubling" ~count:60
-    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+    Rdt_test_helpers.Gen.small_recipe_arbitrary (fun recipe ->
+      let pat = Rdt_test_helpers.Gen.pattern_of_recipe recipe in
       let v = (Checker.run ~algo:`Online pat).Checker.rdt in
       v = (Checker.run ~algo:`Chains pat).Checker.rdt
       && v = (Checker.run ~algo:`Doubling pat).Checker.rdt)
@@ -104,6 +106,7 @@ let test_stream_under_faults () =
       reorder = 0.05;
       reorder_window = 40;
       partitions = [ { Rdt_dist.Faults.between = [ 1 ]; from_t = 1000; to_t = 2500 } ];
+      intermittent = [];
     }
   in
   List.iter

@@ -58,7 +58,8 @@ let zpath pat ~i ~x0 ~j ~y =
 
 let zpath_equals_rgraph =
   QCheck.Test.make ~name:"R-graph reachability = same-process order or Z-path" ~count:60
-    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+    Rdt_test_helpers.Gen.small_recipe_arbitrary (fun recipe ->
+      let pat = Rdt_test_helpers.Gen.pattern_of_recipe recipe in
       let g = Rgraph.build pat in
       let cks = all_ckpts pat in
       List.for_all
@@ -71,7 +72,8 @@ let zpath_equals_rgraph =
 
 let zpath_equals_chains_zigzag =
   QCheck.Test.make ~name:"Z-path enumeration = Chains.zigzag (Netzer-Xu)" ~count:60
-    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+    Rdt_test_helpers.Gen.small_recipe_arbitrary (fun recipe ->
+      let pat = Rdt_test_helpers.Gen.pattern_of_recipe recipe in
       (* zigzag after C_{i,x}: first message sent in an interval >= x+1 *)
       let cks = all_ckpts pat in
       List.for_all
@@ -92,7 +94,8 @@ let naive_rdt pat =
 
 let naive_rdt_matches_checkers =
   QCheck.Test.make ~name:"naive RDT verdict = all three checkers" ~count:100
-    Rdt_test_helpers.Gen.small_pattern_arbitrary (fun pat ->
+    Rdt_test_helpers.Gen.small_recipe_arbitrary (fun recipe ->
+      let pat = Rdt_test_helpers.Gen.pattern_of_recipe recipe in
       let expect = naive_rdt pat in
       (Checker.run pat).Checker.rdt = expect
       && (Checker.run ~algo:`Chains pat).Checker.rdt = expect

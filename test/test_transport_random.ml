@@ -1,7 +1,8 @@
 (* Randomized property suite for the reliable-delivery transport.
 
    QCheck generates fault schedules (drop/dup/reorder rates, partition
-   windows, retransmission parameters, traffic shapes) and drives the
+   windows, retransmission parameters, traffic shapes) via the shared
+   {!Rdt_test_helpers.Gen.link_scenario} generator and drives the
    per-link state machine in isolation.  Invariants checked on every
    schedule: the link drains, accepted = delivered + undeliverable,
    delivery is exactly-once FIFO, and the stats counters are coherent.
@@ -13,70 +14,20 @@ module Faults = Rdt_dist.Faults
 module Channel = Rdt_dist.Channel
 module Rng = Rdt_dist.Rng
 module EQ = Rdt_dist.Event_queue
+module Gen = Rdt_test_helpers.Gen
 
 let qt = QCheck_alcotest.to_alcotest
-
-(* One generated scenario: a single src -> dst link under faults. *)
-type scenario = {
-  seed : int;
-  drop : float;
-  dup : float;
-  reorder : float;
-  window : int;
-  partition : (int * int) option;  (* dst cut off during [from_t, to_t) *)
-  max_retx : int;
-  retx_timeout : int;
-  messages : int;
-  send_gap : int;  (* ticks between consecutive sends *)
-}
-
-let scenario_gen =
-  let open QCheck.Gen in
-  let* seed = nat in
-  let* drop = float_bound_inclusive 0.4 in
-  let* dup = float_bound_inclusive 0.3 in
-  let* reorder = float_bound_inclusive 0.3 in
-  let* window = 1 -- 80 in
-  let* partition =
-    frequency
-      [ (2, return None); (1, map (fun a -> Some (a, a + 500)) (0 -- 1500)) ]
-  in
-  let* max_retx = 6 -- 30 in
-  let* retx_timeout = 50 -- 400 in
-  let* messages = 1 -- 120 in
-  let+ send_gap = 0 -- 40 in
-  { seed; drop; dup; reorder; window; partition; max_retx; retx_timeout; messages; send_gap }
-
-let print_scenario s =
-  Printf.sprintf
-    "{seed=%d drop=%.2f dup=%.2f reorder=%.2f/%d partition=%s max_retx=%d rto=%d msgs=%d gap=%d}"
-    s.seed s.drop s.dup s.reorder s.window
-    (match s.partition with None -> "-" | Some (a, b) -> Printf.sprintf "%d-%d" a b)
-    s.max_retx s.retx_timeout s.messages s.send_gap
-
-let scenario_arbitrary = QCheck.make ~print:print_scenario scenario_gen
-
-let faults_of s =
-  {
-    Faults.drop = s.drop;
-    dup = s.dup;
-    reorder = s.reorder;
-    reorder_window = (if s.reorder > 0.0 then s.window else 0);
-    partitions =
-      (match s.partition with
-      | None -> []
-      | Some (from_t, to_t) -> [ { Faults.between = [ 1 ]; from_t; to_t } ]);
-  }
+let scenario_arbitrary = Gen.link_scenario_arbitrary
 
 (* Run the scenario to completion; returns deliveries in order, the
    undeliverable set and the final stats. *)
-let run_scenario s =
+let run_scenario (s : Gen.link_scenario) =
   let params =
     { Transport.default_params with retx_timeout = s.retx_timeout; max_retx = s.max_retx }
   in
   let tp =
-    Transport.create ~n:2 ~params ~faults:(faults_of s) ~channel:(Channel.Uniform (5, 60))
-      ~rng:(Rng.create s.seed) ()
+    Transport.create ~n:2 ~params ~faults:(Gen.faults_of_link s)
+      ~channel:(Channel.Uniform (5, 60)) ~rng:(Rng.create s.link_seed) ()
   in
   let q = EQ.create () in
   let delivered = ref [] and undeliv = ref [] in
@@ -128,7 +79,7 @@ let prop_exactly_once_fifo =
 let prop_reliable_when_faultless =
   QCheck.Test.make ~name:"no faults: everything delivered, nothing retransmitted spuriously"
     ~count:50 scenario_arbitrary (fun s ->
-      let s = { s with drop = 0.0; dup = 0.0; reorder = 0.0; partition = None } in
+      let s = { s with Gen.drop = 0.0; dup = 0.0; reorder = 0.0; partition = None } in
       let tp, delivered, undeliv = run_scenario s in
       let stats = Transport.stats tp in
       undeliv = []
