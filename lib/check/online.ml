@@ -1,6 +1,7 @@
 module P = Rdt_pattern.Pattern
 module T = Rdt_pattern.Types
 module Bitset = Rdt_pattern.Bitset
+module Vclock = Rdt_dist.Vclock
 module Trace = Rdt_obs.Trace
 
 exception Inconsistent of string
@@ -26,13 +27,18 @@ let bad fmt = Printf.ksprintf (fun s -> raise (Inconsistent s)) fmt
      [Bitset.union_into_iter] reports each newly reached node exactly
      once, which is what makes the total propagation work proportional
      to the number of (source, target) pairs rather than re-scans.
-   - [max_reach.(v).(i)]: the largest checkpoint index of process [i]
-     with an R-path to [v] (the x* of the offline checker), updated in
-     O(1) per newly reached pair.  [max_reach.(v).(owner v)] starts at
-     [cindex v]: reachability is reflexive in the offline R-graph.
+   - [max_reach.(v)]: per process [i], the largest checkpoint index of
+     [i] with an R-path to [v] (the x* of the offline checker), updated
+     in O(1) per newly reached pair.  Stored as a sparse {!Vclock} with
+     a +1 offset — entry 0 encodes "no path", entry [x+1] encodes index
+     [x] — so a node only pays for the processes that actually reach it.
+     [max_reach.(v)] at [owner v] starts at [cindex v]: reachability is
+     reflexive in the offline R-graph.
    - [tdv.(v)]: while open, an alias of the owner's live TDV vector (the
      snapshot a Final here would record); frozen to a copy when the
-     checkpoint is taken — exactly the [Tdv.compute] replay.
+     checkpoint is taken — exactly the [Tdv.compute] replay.  Sparse,
+     like everything per-process here: at n = 10^4 a node touched by a
+     handful of neighbours must cost O(touched), not O(n).
 
    A pair (v, i) is a violation iff [max_reach.(v).(i)] exceeds what the
    TDV tracks: [tdv.(v).(i)] for [i <> owner v], and [cindex v] for
@@ -50,15 +56,15 @@ type core = {
   mutable closed : bool array;
   mutable succ : int list array;
   mutable reached_by : Bitset.t array;
-  mutable max_reach : int array array;
-  mutable tdv : int array array;
-  mutable viol : bool array array; (* closed nodes: latched per-process violation flags *)
+  mutable max_reach : Vclock.t array; (* +1-encoded: 0 = unreached, x+1 = index x *)
+  mutable tdv : Vclock.t array;
+  mutable viol : Bitset.t array; (* closed nodes: latched per-process violation flags *)
   open_slot : int array; (* pid -> its open node *)
   open_events : int array; (* events in the open interval; 0 = no Final here *)
-  vectors : int array array; (* live TDV vectors, as in Tdv.compute *)
+  vectors : Vclock.t array; (* live TDV vectors, as in Tdv.compute *)
   by_index : (int * int, int) Hashtbl.t; (* (pid, index) -> node *)
   msg_slot : (int, int) Hashtbl.t; (* message -> sender's node at send time *)
-  payloads : (int, int array) Hashtbl.t;
+  payloads : (int, Vclock.t) Hashtbl.t;
   dirty : bool array; (* pid -> open verdict needs recomputing *)
   open_bad : bool array;
   mutable open_bad_count : int;
@@ -67,6 +73,8 @@ type core = {
 }
 
 let dummy_bitset = Bitset.create 0
+
+let dummy_vclock = Vclock.create ~n:1
 
 let grow c =
   let new_cap = 2 * c.cap in
@@ -80,9 +88,9 @@ let grow c =
   c.closed <- extend c.closed false;
   c.succ <- extend c.succ [];
   c.reached_by <- extend c.reached_by dummy_bitset;
-  c.max_reach <- extend c.max_reach [||];
-  c.tdv <- extend c.tdv [||];
-  c.viol <- extend c.viol [||];
+  c.max_reach <- extend c.max_reach dummy_vclock;
+  c.tdv <- extend c.tdv dummy_vclock;
+  c.viol <- extend c.viol dummy_bitset;
   for v = 0 to c.num_nodes - 1 do
     Bitset.ensure_capacity c.reached_by.(v) new_cap
   done;
@@ -97,11 +105,11 @@ let new_node c ~owner ~index ~tdv =
   c.closed.(v) <- false;
   c.succ.(v) <- [];
   c.reached_by.(v) <- Bitset.create c.cap;
-  let mr = Array.make c.n (-1) in
-  mr.(owner) <- index;
+  let mr = Vclock.create ~n:c.n in
+  Vclock.set mr owner (index + 1);
   c.max_reach.(v) <- mr;
   c.tdv.(v) <- tdv;
-  c.viol.(v) <- [||];
+  c.viol.(v) <- dummy_bitset;
   Hashtbl.replace c.by_index (owner, index) v;
   v
 
@@ -110,12 +118,12 @@ let new_pair c v w =
   if v = w then c.has_cycle <- true;
   let i = c.owner.(v) and x = c.cindex.(v) in
   let mr = c.max_reach.(w) in
-  if x > mr.(i) then begin
-    mr.(i) <- x;
+  if x + 1 > Vclock.get mr i then begin
+    Vclock.set mr i (x + 1);
     if c.closed.(w) then begin
-      let allowed = if i = c.owner.(w) then c.cindex.(w) else c.tdv.(w).(i) in
-      if x > allowed && not c.viol.(w).(i) then begin
-        c.viol.(w).(i) <- true;
+      let allowed = if i = c.owner.(w) then c.cindex.(w) else Vclock.get c.tdv.(w) i in
+      if x > allowed && not (Bitset.mem c.viol.(w) i) then begin
+        Bitset.add c.viol.(w) i;
         c.bad_pairs <- c.bad_pairs + 1
       end
     end
@@ -146,7 +154,7 @@ let add_edge c u w =
   end
 
 let core_send c ~msg ~src =
-  Hashtbl.replace c.payloads msg (Array.copy c.vectors.(src));
+  Hashtbl.replace c.payloads msg (Vclock.copy c.vectors.(src));
   Hashtbl.replace c.msg_slot msg c.open_slot.(src);
   c.open_events.(src) <- c.open_events.(src) + 1;
   c.dirty.(src) <- true
@@ -158,10 +166,7 @@ let core_deliver c ~msg ~dst =
     | None -> bad "surviving delivery of rolled-back send %d" msg
   in
   let p = Hashtbl.find c.payloads msg in
-  let v = c.vectors.(dst) in
-  for k = 0 to c.n - 1 do
-    if p.(k) > v.(k) then v.(k) <- p.(k)
-  done;
+  Vclock.merge c.vectors.(dst) p;
   c.open_events.(dst) <- c.open_events.(dst) + 1;
   c.dirty.(dst) <- true;
   add_edge c u c.open_slot.(dst)
@@ -174,19 +179,20 @@ let core_ckpt c ~pid ~index =
   let w = c.open_slot.(pid) in
   if c.cindex.(w) <> index then
     bad "checkpoint %d of pid %d out of order (expected index %d)" index pid c.cindex.(w);
-  c.tdv.(w) <- Array.copy c.vectors.(pid);
+  c.tdv.(w) <- Vclock.copy c.vectors.(pid);
   c.closed.(w) <- true;
-  let vl = Array.make c.n false in
+  let vl = Bitset.create c.n in
   c.viol.(w) <- vl;
   let mr = c.max_reach.(w) and frozen = c.tdv.(w) in
-  for i = 0 to c.n - 1 do
-    (* i = pid cannot be violated here: no later checkpoint of pid exists yet *)
-    if i <> pid && mr.(i) > frozen.(i) then begin
-      vl.(i) <- true;
-      c.bad_pairs <- c.bad_pairs + 1
-    end
-  done;
-  c.vectors.(pid).(pid) <- index + 1;
+  (* only processes with a path into [w] can violate; walk the sparse
+     entries instead of all n.  i = pid cannot be violated here: no later
+     checkpoint of pid exists yet *)
+  Vclock.iteri mr ~f:(fun i enc ->
+      if i <> pid && enc - 1 > Vclock.get frozen i then begin
+        Bitset.add vl i;
+        c.bad_pairs <- c.bad_pairs + 1
+      end);
+  Vclock.set c.vectors.(pid) pid (index + 1);
   let w' = new_node c ~owner:pid ~index:(index + 1) ~tdv:c.vectors.(pid) in
   c.open_slot.(pid) <- w';
   c.open_events.(pid) <- 0;
@@ -218,12 +224,12 @@ let core_create ~n =
       closed = Array.make cap false;
       succ = Array.make cap [];
       reached_by = Array.make cap dummy_bitset;
-      max_reach = Array.make cap [||];
-      tdv = Array.make cap [||];
-      viol = Array.make cap [||];
+      max_reach = Array.make cap dummy_vclock;
+      tdv = Array.make cap dummy_vclock;
+      viol = Array.make cap dummy_bitset;
       open_slot = Array.make n 0;
       open_events = Array.make n 0;
-      vectors = Array.init n (fun _ -> Array.make n 0);
+      vectors = Array.init n (fun _ -> Vclock.create ~n);
       by_index = Hashtbl.create (4 * n);
       msg_slot = Hashtbl.create 64;
       payloads = Hashtbl.create 64;
@@ -246,9 +252,7 @@ let recompute_open_bad c pid =
   else begin
     let mr = c.max_reach.(c.open_slot.(pid)) and live = c.vectors.(pid) in
     let b = ref false in
-    for i = 0 to c.n - 1 do
-      if i <> pid && mr.(i) > live.(i) then b := true
-    done;
+    Vclock.iteri mr ~f:(fun i enc -> if i <> pid && enc - 1 > Vclock.get live i then b := true);
     !b
   end
 
@@ -461,7 +465,7 @@ let find_node t (i, x) =
 
 let trackable t (i, x) (j, y) =
   let _ = find_node t (i, x) and w = find_node t (j, y) in
-  if i = j then x <= y else t.core.tdv.(w).(i) >= x
+  if i = j then x <= y else Vclock.get t.core.tdv.(w) i >= x
 
 let reaches t a b =
   let u = find_node t a and w = find_node t b in
@@ -484,12 +488,8 @@ let checked t =
   let c = t.core in
   let total = ref 0 in
   for v = 0 to c.num_nodes - 1 do
-    if eligible t v then begin
-      let mr = c.max_reach.(v) in
-      for i = 0 to c.n - 1 do
-        if mr.(i) >= 0 then incr total
-      done
-    end
+    (* +1 encoding: a stored (nonzero) entry is exactly a reached pair *)
+    if eligible t v then total := !total + Vclock.nnz c.max_reach.(v)
   done;
   !total
 
@@ -501,11 +501,10 @@ let violations t =
   for v = 0 to c.num_nodes - 1 do
     if eligible t v then begin
       let mr = c.max_reach.(v) and j = c.owner.(v) and y = c.cindex.(v) in
-      for i = 0 to c.n - 1 do
-        let allowed = if i = j then y else c.tdv.(v).(i) in
-        if mr.(i) > allowed then
-          acc := { from_ckpt = (i, mr.(i)); to_ckpt = (j, y); tracked = allowed } :: !acc
-      done
+      Vclock.iteri mr ~f:(fun i enc ->
+          let allowed = if i = j then y else Vclock.get c.tdv.(v) i in
+          if enc - 1 > allowed then
+            acc := { from_ckpt = (i, enc - 1); to_ckpt = (j, y); tracked = allowed } :: !acc)
     end
   done;
   (* the offline checkers iterate (j, y, i); match their report order *)

@@ -56,7 +56,8 @@ type 'a t = {
   channel : Channel.spec;
   rng : Rng.t;
   notify : notice -> unit;
-  links : 'a link array; (* src * n + dst *)
+  links : (int, 'a link) Hashtbl.t; (* keyed src * n + dst; allocated per live link *)
+  mutable unacked_total : int; (* maintained at every unacked add/settle site *)
   mutable accepted : int;
   mutable delivered : int;
   mutable undeliverable : int;
@@ -81,16 +82,10 @@ let create ?(notify = fun (_ : notice) -> ()) ~n ~params ~faults ~channel ~rng (
     channel;
     rng;
     notify;
-    links =
-      Array.init (n * n) (fun _ ->
-          {
-            next_seq = 0;
-            cum_acked = 0;
-            unacked = Hashtbl.create 8;
-            expected = 0;
-            buffer = Hashtbl.create 8;
-            abandoned = Hashtbl.create 2;
-          });
+    (* no per-pair state up front: n = 10^4 endpoints with 100 live links
+       must cost O(links), not O(n^2) — link records appear on first use *)
+    links = Hashtbl.create 64;
+    unacked_total = 0;
     accepted = 0;
     delivered = 0;
     undeliverable = 0;
@@ -103,7 +98,25 @@ let create ?(notify = fun (_ : notice) -> ()) ~n ~params ~faults ~channel ~rng (
     reordered = 0;
   }
 
-let link t src dst = t.links.((src * t.n) + dst)
+let link t src dst =
+  let key = (src * t.n) + dst in
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          next_seq = 0;
+          cum_acked = 0;
+          unacked = Hashtbl.create 8;
+          expected = 0;
+          buffer = Hashtbl.create 8;
+          abandoned = Hashtbl.create 2;
+        }
+      in
+      Hashtbl.add t.links key l;
+      l
+
+let live_links t = Hashtbl.length t.links
 
 (* Timeout before retransmission number [k+1]: exponential backoff from the
    base timeout, capped at 32x so healing partitions are re-probed within a
@@ -185,6 +198,7 @@ let send t ~now ~src ~dst msg =
   let seq = l.next_seq in
   l.next_seq <- seq + 1;
   Hashtbl.replace l.unacked seq { payload = msg; retx = 0 };
+  t.unacked_total <- t.unacked_total + 1;
   t.accepted <- t.accepted + 1;
   t.data_packets <- t.data_packets + 1;
   let acc = ref [] in
@@ -225,7 +239,12 @@ let handle t ~now wire =
       (* cumulative: settle every seq < cum (counting up keeps the removal
          order deterministic); stale acks are no-ops *)
       while l.cum_acked < cum do
-        Hashtbl.remove l.unacked l.cum_acked;
+        (* an abandoned seq is already gone from [unacked] — only settle
+           the in-flight counter for entries actually removed *)
+        if Hashtbl.mem l.unacked l.cum_acked then begin
+          Hashtbl.remove l.unacked l.cum_acked;
+          t.unacked_total <- t.unacked_total - 1
+        end;
         l.cum_acked <- l.cum_acked + 1
       done;
       []
@@ -240,10 +259,12 @@ let handle t ~now wire =
                  lost; the simulation is omniscient, so settle silently
                  rather than double-report a delivered message *)
               Hashtbl.remove l.unacked seq;
+              t.unacked_total <- t.unacked_total - 1;
               []
             end
             else begin
               Hashtbl.remove l.unacked seq;
+              t.unacked_total <- t.unacked_total - 1;
               Hashtbl.replace l.abandoned seq ();
               t.undeliverable <- t.undeliverable + 1;
               let acc = ref [ Undeliverable { src; dst; msg = e.payload } ] in
@@ -264,8 +285,7 @@ let handle t ~now wire =
             List.rev !acc
           end)
 
-let in_flight t =
-  Array.fold_left (fun acc l -> acc + Hashtbl.length l.unacked) 0 t.links
+let in_flight t = t.unacked_total
 
 let stats t =
   {

@@ -102,7 +102,13 @@ val handle : 'a t -> now:int -> wire -> 'a emit list
 
 val in_flight : 'a t -> int
 (** Messages accepted by {!send} and neither delivered nor abandoned yet.
-    [0] once the caller's event queue has drained. *)
+    [0] once the caller's event queue has drained.  O(1): maintained as a
+    counter, never recomputed by walking the link table. *)
+
+val live_links : 'a t -> int
+(** Number of ordered (src, dst) pairs that have carried traffic.  Link
+    state is allocated lazily per live pair, so a transport over [n]
+    endpoints costs O({!live_links}), not O(n{^ 2}). *)
 
 type stats = {
   accepted : int;  (** messages entrusted to the transport *)

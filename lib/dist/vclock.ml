@@ -1,47 +1,209 @@
-type t = int array
+(* Sparse vector clocks: only the nonzero entries are stored, as parallel
+   sorted (index, value) arrays.  At n = 10^4 processes a clock touched by
+   a handful of neighbours costs O(touched) words instead of O(n), which
+   is what lets every in-flight message of the scaled engine carry a
+   dependency vector.  Zero entries are never stored, so the
+   representation is canonical and [equal]/[compare] stay structural.
+   Sorted arrays — not a hash table — keep iteration deterministic
+   (lint rule D1) and the lattice operations simple linear merges. *)
+
+type t = {
+  n : int;
+  mutable idx : int array; (* sorted, the nonzero positions *)
+  mutable vals : int array; (* vals.(k) > 0 is entry idx.(k) *)
+  mutable nnz : int;
+}
 
 let create ~n =
   if n <= 0 then invalid_arg "Vclock.create: n must be positive";
-  Array.make n 0
+  { n; idx = [||]; vals = [||]; nnz = 0 }
 
-let of_array a = Array.copy a
+let of_array a =
+  let n = Array.length a in
+  let nnz = ref 0 in
+  Array.iter (fun x -> if x <> 0 then incr nnz) a;
+  let idx = Array.make !nnz 0 and vals = Array.make !nnz 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i x ->
+      if x <> 0 then begin
+        idx.(!k) <- i;
+        vals.(!k) <- x;
+        incr k
+      end)
+    a;
+  { n; idx; vals; nnz = !nnz }
 
-let to_array v = Array.copy v
+let to_array v =
+  let a = Array.make v.n 0 in
+  for k = 0 to v.nnz - 1 do
+    a.(v.idx.(k)) <- v.vals.(k)
+  done;
+  a
 
-let copy = Array.copy
+let copy v = { v with idx = Array.sub v.idx 0 v.nnz; vals = Array.sub v.vals 0 v.nnz }
 
-let size = Array.length
+let size v = v.n
 
-let get v i = v.(i)
+let nnz v = v.nnz
+
+(* First slot in [idx.(0..nnz)] holding a position >= [i]. *)
+let lower_bound v i =
+  let lo = ref 0 and hi = ref v.nnz in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v.idx.(mid) < i then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let check_index v i = if i < 0 || i >= v.n then invalid_arg "index out of bounds"
+
+let get v i =
+  check_index v i;
+  let k = lower_bound v i in
+  if k < v.nnz && v.idx.(k) = i then v.vals.(k) else 0
+
+let remove_at v k =
+  Array.blit v.idx (k + 1) v.idx k (v.nnz - k - 1);
+  Array.blit v.vals (k + 1) v.vals k (v.nnz - k - 1);
+  v.nnz <- v.nnz - 1
+
+let insert_at v k i x =
+  if v.nnz = Array.length v.idx then begin
+    let cap = max 4 (2 * v.nnz) in
+    let idx = Array.make cap 0 and vals = Array.make cap 0 in
+    Array.blit v.idx 0 idx 0 v.nnz;
+    Array.blit v.vals 0 vals 0 v.nnz;
+    v.idx <- idx;
+    v.vals <- vals
+  end;
+  Array.blit v.idx k v.idx (k + 1) (v.nnz - k);
+  Array.blit v.vals k v.vals (k + 1) (v.nnz - k);
+  v.idx.(k) <- i;
+  v.vals.(k) <- x;
+  v.nnz <- v.nnz + 1
 
 let set v i x =
   if x < 0 then invalid_arg "Vclock.set: negative entry";
-  v.(i) <- x
+  check_index v i;
+  let k = lower_bound v i in
+  if k < v.nnz && v.idx.(k) = i then begin
+    if x = 0 then remove_at v k else v.vals.(k) <- x
+  end
+  else if x <> 0 then insert_at v k i x
 
-let incr v i = v.(i) <- v.(i) + 1
+let incr v i =
+  check_index v i;
+  let k = lower_bound v i in
+  if k < v.nnz && v.idx.(k) = i then v.vals.(k) <- v.vals.(k) + 1 else insert_at v k i 1
 
-let merge v w =
-  if Array.length v <> Array.length w then invalid_arg "Vclock.merge: size mismatch";
-  for i = 0 to Array.length v - 1 do
-    if w.(i) > v.(i) then v.(i) <- w.(i)
+let iteri ~f v =
+  for k = 0 to v.nnz - 1 do
+    f v.idx.(k) v.vals.(k)
   done
 
+let merge v w =
+  if v.n <> w.n then invalid_arg "Vclock.merge: size mismatch";
+  (* one linear pass: does w add or raise anything, and how many slots
+     does the union need? *)
+  let i = ref 0 and j = ref 0 and union = ref 0 and needs = ref false in
+  while !i < v.nnz || !j < w.nnz do
+    let vi = if !i < v.nnz then v.idx.(!i) else max_int in
+    let wi = if !j < w.nnz then w.idx.(!j) else max_int in
+    if vi < wi then Stdlib.incr i
+    else if wi < vi then begin
+      needs := true;
+      Stdlib.incr j
+    end
+    else begin
+      if w.vals.(!j) > v.vals.(!i) then needs := true;
+      Stdlib.incr i;
+      Stdlib.incr j
+    end;
+    Stdlib.incr union
+  done;
+  if !needs then begin
+    let m = !union in
+    if Array.length v.idx < m then begin
+      (* grow geometrically so a run of merges amortizes its copies *)
+      let cap = max m (max 4 (2 * Array.length v.idx)) in
+      let idx = Array.make cap 0 and vals = Array.make cap 0 in
+      Array.blit v.idx 0 idx 0 v.nnz;
+      Array.blit v.vals 0 vals 0 v.nnz;
+      v.idx <- idx;
+      v.vals <- vals
+    end;
+    (* merge back-to-front, in place: once w is exhausted, the remaining
+       v prefix (slots 0..k) is already where it belongs *)
+    let i = ref (v.nnz - 1) and j = ref (w.nnz - 1) and k = ref (m - 1) in
+    while !j >= 0 do
+      if !i >= 0 && v.idx.(!i) > w.idx.(!j) then begin
+        v.idx.(!k) <- v.idx.(!i);
+        v.vals.(!k) <- v.vals.(!i);
+        Stdlib.decr i
+      end
+      else if !i >= 0 && v.idx.(!i) = w.idx.(!j) then begin
+        v.idx.(!k) <- v.idx.(!i);
+        v.vals.(!k) <- max v.vals.(!i) w.vals.(!j);
+        Stdlib.decr i;
+        Stdlib.decr j
+      end
+      else begin
+        v.idx.(!k) <- w.idx.(!j);
+        v.vals.(!k) <- w.vals.(!j);
+        Stdlib.decr j
+      end;
+      Stdlib.decr k
+    done;
+    v.nnz <- m
+  end
+
 let leq v w =
-  if Array.length v <> Array.length w then invalid_arg "Vclock.leq: size mismatch";
-  let rec loop i = i >= Array.length v || (v.(i) <= w.(i) && loop (i + 1)) in
+  if v.n <> w.n then invalid_arg "Vclock.leq: size mismatch";
+  let rec loop k = k >= v.nnz || (v.vals.(k) <= get w v.idx.(k) && loop (k + 1)) in
   loop 0
 
-let equal v w = v = w
+let equal v w =
+  v.n = w.n
+  && v.nnz = w.nnz
+  &&
+  let rec loop k = k >= v.nnz || (v.idx.(k) = w.idx.(k) && v.vals.(k) = w.vals.(k) && loop (k + 1)) in
+  loop 0
 
 let lt v w = leq v w && not (equal v w)
 
 let concurrent v w = (not (leq v w)) && not (leq w v)
 
-let compare = Stdlib.compare
+(* Lexicographic over the dense entries (sizes first), matching the old
+   [Stdlib.compare] on plain arrays. *)
+let compare v w =
+  if v.n <> w.n then Stdlib.compare v.n w.n
+  else begin
+    let i = ref 0 and j = ref 0 and r = ref 0 in
+    while !r = 0 && (!i < v.nnz || !j < w.nnz) do
+      let vi = if !i < v.nnz then v.idx.(!i) else max_int in
+      let wi = if !j < w.nnz then w.idx.(!j) else max_int in
+      if vi < wi then begin
+        (* v has a nonzero where w has 0 *)
+        r := 1;
+        Stdlib.incr i
+      end
+      else if wi < vi then begin
+        r := -1;
+        Stdlib.incr j
+      end
+      else begin
+        r := Stdlib.compare v.vals.(!i) w.vals.(!j);
+        Stdlib.incr i;
+        Stdlib.incr j
+      end
+    done;
+    !r
+  end
 
 let pp ppf v =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
        Format.pp_print_int)
-    (Array.to_list v)
+    (Array.to_list (to_array v))

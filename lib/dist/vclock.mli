@@ -20,6 +20,15 @@ val copy : t -> t
 
 val size : t -> int
 
+val nnz : t -> int
+(** Number of nonzero entries actually stored.  The sparse representation
+    costs O(nnz) words regardless of {!size} — the scaled engine's
+    per-message payload budget is [nnz], not [n]. *)
+
+val iteri : f:(int -> int -> unit) -> t -> unit
+(** [iteri ~f v] calls [f i x] for every {e nonzero} entry [x] at
+    position [i], in ascending position order. *)
+
 val get : t -> int -> int
 
 val set : t -> int -> int -> unit

@@ -962,6 +962,44 @@ let table_fuzz ?jobs ?report ?(budget = 80) () =
     [ string_of_int rep.Rdt_fuzz.Fuzzer.scenarios; string_of_int c.Rdt_fuzz.Fuzzer.ok; Table.cell_f per_sec ];
   t
 
+(* ------------------------------------------------------------------ *)
+(* BENCH-SCALE: the sharded engine at n = 10^4                         *)
+(* ------------------------------------------------------------------ *)
+
+let table_scale ?jobs ?report ?(params = Scale.default_params) () =
+  (match Scale.validate_params params with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Experiments.table_scale: " ^ m));
+  let t0 = Rdt_obs.Meter.now () in
+  let r = Scale.run ?jobs params in
+  let seconds = Rdt_obs.Meter.now () -. t0 in
+  let events_per_sec = float_of_int r.Scale.events /. Float.max 1e-9 seconds in
+  let bytes_per_process = float_of_int r.Scale.payload_bytes /. float_of_int params.Scale.n in
+  (match report with
+  | None -> ()
+  | Some rp ->
+      Bench_report.add rp ~table:"BENCH-SCALE" ~protocol:"cbr" ~env:"ring"
+        ~seed:params.Scale.seed ~seconds;
+      Bench_report.add_micro rp ~name:"scale.events_per_sec" ~ns:events_per_sec;
+      Bench_report.add_micro rp ~name:"scale.bytes_per_process" ~ns:bytes_per_process);
+  let t =
+    Table.create
+      ~header:
+        [ "n"; "messages"; "shards"; "events"; "forced"; "events/s"; "bytes/proc"; "checksum" ]
+  in
+  Table.add_row t
+    [
+      string_of_int params.Scale.n;
+      string_of_int params.Scale.messages;
+      string_of_int r.Scale.shards;
+      string_of_int r.Scale.events;
+      string_of_int r.Scale.ckpts_forced;
+      Table.cell_f events_per_sec;
+      Table.cell_f bytes_per_process;
+      Printf.sprintf "%016x" r.Scale.checksum;
+    ];
+  t
+
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   let t0 = Rdt_obs.Meter.now () in
@@ -1004,5 +1042,14 @@ let run_all ?(quick = false) ?jobs ?report () =
   Table.print (table_durable ?report ());
   Format.printf "@.== BENCH-FUZZ: adversarial scenario fuzzer throughput (mixed protocols) ==@.";
   Table.print (table_fuzz ?jobs ?report ~budget:(if quick then 40 else 80) ());
+  Format.printf
+    "@.== BENCH-SCALE: sharded engine throughput (cbr, ring, n=%s) ==@."
+    (if quick then "1000" else "10000");
+  Table.print
+    (table_scale ?jobs ?report
+       ~params:
+         (if quick then { Scale.default_params with Scale.n = 1_000; messages = 100_000 }
+          else Scale.default_params)
+       ());
   (match report with Some r -> Bench_report.set_wall r (Rdt_obs.Meter.now () -. t0) | None -> ());
   Format.print_flush ()

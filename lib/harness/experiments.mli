@@ -144,6 +144,17 @@ val table_fuzz : ?jobs:int -> ?report:Bench_report.t -> ?budget:int -> unit -> T
     [fuzz.campaign] / [fuzz.exec] spans and the [fuzz.*] counters into
     {!Rdt_obs.Meter.default}. *)
 
+val table_scale : ?jobs:int -> ?report:Bench_report.t -> ?params:Scale.params -> unit -> Table.t
+(** BENCH-SCALE (extension): throughput of the sharded event core
+    ({!Scale}) on the checkpoint-before-receive ring workload — by
+    default {!Scale.default_params}: n = 10_000 processes, 10^6
+    messages.  The table carries the deterministic run fields (event
+    count, forced checkpoints, checksum) next to the two throughput
+    figures; rerunning with a different [?jobs] changes only the
+    timings, never the deterministic columns.  With [?report], records
+    the [BENCH-SCALE] cell and the [scale.events_per_sec] /
+    [scale.bytes_per_process] micros. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit

@@ -1,0 +1,65 @@
+(** The scaled engine: an n = 10^4-class CIC simulation on the sharded
+    event core.
+
+    Runs a communication-induced-checkpointing workload — ring-local
+    traffic with checkpoint-before-receive forced checkpoints, the purely
+    local rule that keeps every pattern RDT — over {!Rdt_dist.Shard},
+    with processes partitioned round-robin over shards and every
+    per-process structure sparse ({!Rdt_dist.Vclock} dependency vectors
+    piggybacked on messages).  Everything a run prints or returns is a
+    pure function of {!params}: the shard count is derived from [n]
+    (never from [jobs]), every process draws from its own
+    {!Rdt_dist.Rng.derive_seed} stream, and cross-shard merges are
+    ordered by the seeded tiebreak — so results are bit-identical for
+    every [jobs] value.  This is the BENCH-SCALE workhorse (events/sec,
+    bytes/process at n = 10_000, 10^6 messages) and, at small [n], a
+    trace source the offline checkers can audit. *)
+
+type params = {
+  n : int;  (** processes (>= 2) *)
+  messages : int;  (** total messages sent across the run (>= 0) *)
+  seed : int;
+  hop_span : int;  (** destinations are ring neighbours within this span (>= 1) *)
+  basic_ckpt_every : int;
+      (** a process takes a basic checkpoint every this many sends (>= 1) *)
+}
+
+val default_params : params
+(** n = 10_000, messages = 1_000_000, seed = 1, hop_span = 8,
+    basic_ckpt_every = 8. *)
+
+val validate_params : params -> (unit, string) result
+
+val shards_for : int -> int
+(** Shard count used for an [n]-process run — a function of [n] only,
+    so the event partition (and thus the output) never depends on the
+    worker count. *)
+
+type result = {
+  shards : int;
+  events : int;  (** events handled by the sharded core *)
+  sent : int;
+  delivered : int;
+  ckpts_basic : int;
+  ckpts_forced : int;
+  final_time : int;  (** simulated clock when the queues drained *)
+  payload_entries : int;  (** total nonzero vclock entries piggybacked *)
+  payload_bytes : int;  (** wire-size estimate of those sparse payloads *)
+  checksum : int;  (** digest of every final process vector; the
+                       bit-identical-across-jobs witness *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+(** Deterministic rendering of every field (no timings): two runs that
+    print identically are observably identical. *)
+
+val run : ?jobs:int -> params -> result
+(** Execute the workload on [jobs] domains (default
+    {!Pool.default_jobs}).  @raise Invalid_argument on invalid params. *)
+
+val run_traced : params -> result * Rdt_pattern.Pattern.t
+(** Sequential run that also materializes the checkpoint-and-
+    communication pattern for the offline checkers ({!Rdt_core.Checker})
+    — the differential witness that the sharded engine produces real,
+    checkable executions.  Memory is O(events): use small [n].  The
+    result equals {!run}'s for the same params. *)

@@ -13,8 +13,13 @@
    construction API and is not flagged. *)
 
 let pattern_types =
-  [ "Pattern.t"; "Rgraph.t"; "Bitset.t"; "Types.ckpt"; "Types.message"; "Types.event" ]
+  [
+    "Pattern.t"; "Rgraph.t"; "Bitset.t"; "Vclock.t"; "Tdv.t"; "Types.ckpt"; "Types.message";
+    "Types.event";
+  ]
 
+(* The chunked Bitset kept the dense API's mutator names, so the same
+   list covers both representations. *)
 let bitset_mutators =
   [
     "Bitset.add";
@@ -23,6 +28,11 @@ let bitset_mutators =
     "Bitset.union_into_iter";
     "Bitset.ensure_capacity";
   ]
+
+(* Sparse dependency vectors are shared as widely as reachability sets
+   (message payloads, checker state): observation code must treat them
+   as read-only too. *)
+let vclock_mutators = [ "Vclock.set"; "Vclock.incr"; "Vclock.merge" ]
 
 let array_writes = [ "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit" ]
 
@@ -50,15 +60,23 @@ let check (ctx : Rule.ctx) structure =
                       the pattern layer must be treated as read-only here"
                      t)
             | None -> (
-                if Scan.matches_any n array_writes then
-                  match Scan.type_mentions ~targets:pattern_types a0.Typedtree.exp_type with
-                  | Some t ->
-                      ctx.report ~rule:"A2" ~loc:e.Typedtree.exp_loc
-                        (Printf.sprintf
-                           "observation-only code writes into an array involving %s (the \
-                            Pattern accessors expose internal arrays: do not mutate)"
-                           t)
-                  | None -> ()))
+                match Scan.find_target n vclock_mutators with
+                | Some t ->
+                    ctx.report ~rule:"A2" ~loc:e.Typedtree.exp_loc
+                      (Printf.sprintf
+                         "observation-only code calls mutating %s; dependency vectors \
+                          (message payloads, checker state) must be treated as read-only here"
+                         t)
+                | None -> (
+                    if Scan.matches_any n array_writes then
+                      match Scan.type_mentions ~targets:pattern_types a0.Typedtree.exp_type with
+                      | Some t ->
+                          ctx.report ~rule:"A2" ~loc:e.Typedtree.exp_loc
+                            (Printf.sprintf
+                               "observation-only code writes into an array involving %s (the \
+                                Pattern accessors expose internal arrays: do not mutate)"
+                               t)
+                      | None -> ())))
         | _ -> ())
 
 let rule =

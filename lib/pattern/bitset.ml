@@ -1,24 +1,59 @@
-type t = { mutable words : Bytes.t; mutable capacity : int }
+(* Chunked, Roaring-style compressed bitset.
 
-(* Bytes-based storage gives compact, GC-friendly flat data; we address
-   64-bit words through Bytes.{get,set}_int64_le. *)
+   The universe [0, capacity) is cut into chunks of 4096 indices.  A chunk
+   is materialized only once a member lands in it, as either
 
-let words_for n = (n + 63) / 64
+   - [Sparse]: a sorted array of the member's low 12 bits — O(members)
+     words while the chunk holds fewer than [promote_at] elements; or
+   - [Dense]: a 512-byte bitmap (64 words of 64 bits), the representation
+     of the old flat implementation, promoted to when a sparse chunk would
+     outgrow the bitmap's footprint.
+
+   An empty set over n elements therefore costs O(n / 4096) words instead
+   of O(n / 64): the per-node reached-by sets of the online checker and
+   the SCC reachability sets of {!Rgraph} stay proportional to what they
+   actually contain, which is what makes n = 10^4 runs allocate linearly.
+   The observable semantics — including the exactly-once, ascending delta
+   reporting of [union_into_iter] that incremental transitive closure
+   depends on — are those of the dense implementation, bit for bit; the
+   old code survives as the differential-test reference
+   [test/helpers/dense_bitset.ml]. *)
+
+let chunk_bits = 12
+
+let chunk_size = 1 lsl chunk_bits (* 4096 *)
+
+let chunk_mask = chunk_size - 1
+
+let chunk_words = chunk_size / 64 (* 64 words = 512 bytes *)
+
+(* A sparse chunk of exactly [promote_at] members occupies the same
+   8 * 64 bytes as the bitmap it is promoted to; beyond that, dense is
+   both smaller and faster. *)
+let promote_at = 64
+
+type chunk =
+  | Sparse of { mutable elts : int array; mutable len : int } (* sorted low bits *)
+  | Dense of Bytes.t
+
+type t = { mutable chunks : chunk option array; mutable capacity : int }
+
+let slots_for n = (n + chunk_mask) lsr chunk_bits
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create: negative capacity";
-  { words = Bytes.make (8 * words_for n) '\000'; capacity = n }
+  { chunks = Array.make (slots_for n) None; capacity = n }
 
 let capacity t = t.capacity
 
 let ensure_capacity t n =
   if n > t.capacity then begin
-    let old_bytes = Bytes.length t.words in
-    let new_bytes = 8 * words_for n in
-    if new_bytes > old_bytes then begin
-      let words = Bytes.make new_bytes '\000' in
-      Bytes.blit t.words 0 words 0 old_bytes;
-      t.words <- words
+    let old_slots = Array.length t.chunks in
+    let new_slots = slots_for n in
+    if new_slots > old_slots then begin
+      let chunks = Array.make new_slots None in
+      Array.blit t.chunks 0 chunks 0 old_slots;
+      t.chunks <- chunks
     end;
     t.capacity <- n
   end
@@ -26,37 +61,97 @@ let ensure_capacity t n =
 let check t i =
   if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
 
-let get_word t w = Bytes.get_int64_le t.words (8 * w)
+(* ---- sparse-chunk primitives ------------------------------------- *)
 
-let set_word t w v = Bytes.set_int64_le t.words (8 * w) v
+(* First position in [elts.(0..len)] holding a value >= [x]. *)
+let lower_bound elts len x =
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if elts.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sparse_mem s len x =
+  let p = lower_bound s len x in
+  p < len && s.(p) = x
+
+let dense_of_sparse elts len =
+  let b = Bytes.make (8 * chunk_words) '\000' in
+  for k = 0 to len - 1 do
+    let x = elts.(k) in
+    let w = x lsr 6 and bit = x land 63 in
+    Bytes.set_int64_le b (8 * w)
+      (Int64.logor (Bytes.get_int64_le b (8 * w)) (Int64.shift_left 1L bit))
+  done;
+  b
+
+(* ---- per-chunk add / mem / remove -------------------------------- *)
+
+let chunk_add t slot low =
+  match t.chunks.(slot) with
+  | None ->
+      let elts = Array.make 4 0 in
+      elts.(0) <- low;
+      t.chunks.(slot) <- Some (Sparse { elts; len = 1 })
+  | Some (Dense b) ->
+      let w = low lsr 6 and bit = low land 63 in
+      Bytes.set_int64_le b (8 * w)
+        (Int64.logor (Bytes.get_int64_le b (8 * w)) (Int64.shift_left 1L bit))
+  | Some (Sparse s) ->
+      let p = lower_bound s.elts s.len low in
+      if not (p < s.len && s.elts.(p) = low) then
+        if s.len = promote_at then begin
+          let b = dense_of_sparse s.elts s.len in
+          let w = low lsr 6 and bit = low land 63 in
+          Bytes.set_int64_le b (8 * w)
+            (Int64.logor (Bytes.get_int64_le b (8 * w)) (Int64.shift_left 1L bit));
+          t.chunks.(slot) <- Some (Dense b)
+        end
+        else begin
+          if s.len = Array.length s.elts then begin
+            let bigger = Array.make (2 * Array.length s.elts) 0 in
+            Array.blit s.elts 0 bigger 0 s.len;
+            s.elts <- bigger
+          end;
+          Array.blit s.elts p s.elts (p + 1) (s.len - p);
+          s.elts.(p) <- low;
+          s.len <- s.len + 1
+        end
 
 let mem t i =
   check t i;
-  let w = i / 64 and b = i mod 64 in
-  Int64.logand (get_word t w) (Int64.shift_left 1L b) <> 0L
+  match t.chunks.(i lsr chunk_bits) with
+  | None -> false
+  | Some (Sparse s) -> sparse_mem s.elts s.len (i land chunk_mask)
+  | Some (Dense b) ->
+      let low = i land chunk_mask in
+      let w = low lsr 6 and bit = low land 63 in
+      Int64.logand (Bytes.get_int64_le b (8 * w)) (Int64.shift_left 1L bit) <> 0L
 
 let add t i =
   check t i;
-  let w = i / 64 and b = i mod 64 in
-  set_word t w (Int64.logor (get_word t w) (Int64.shift_left 1L b))
+  chunk_add t (i lsr chunk_bits) (i land chunk_mask)
 
 let remove t i =
   check t i;
-  let w = i / 64 and b = i mod 64 in
-  set_word t w (Int64.logand (get_word t w) (Int64.lognot (Int64.shift_left 1L b)))
+  match t.chunks.(i lsr chunk_bits) with
+  | None -> ()
+  | Some (Dense b) ->
+      let low = i land chunk_mask in
+      let w = low lsr 6 and bit = low land 63 in
+      Bytes.set_int64_le b (8 * w)
+        (Int64.logand (Bytes.get_int64_le b (8 * w))
+           (Int64.lognot (Int64.shift_left 1L bit)))
+  | Some (Sparse s) ->
+      let low = i land chunk_mask in
+      let p = lower_bound s.elts s.len low in
+      if p < s.len && s.elts.(p) = low then begin
+        Array.blit s.elts (p + 1) s.elts p (s.len - p - 1);
+        s.len <- s.len - 1
+      end
 
-let union_into dst src =
-  if src.capacity > dst.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
-  let changed = ref false in
-  for w = 0 to words_for src.capacity - 1 do
-    let d = get_word dst w and s = get_word src w in
-    let u = Int64.logor d s in
-    if u <> d then begin
-      set_word dst w u;
-      changed := true
-    end
-  done;
-  !changed
+(* ---- iteration ---------------------------------------------------- *)
 
 let bits_of_word f base word =
   let word = ref word in
@@ -67,21 +162,30 @@ let bits_of_word f base word =
     word := Int64.logxor !word b
   done
 
-let union_into_iter dst src ~f =
-  if src.capacity > dst.capacity then invalid_arg "Bitset.union_into_iter: capacity mismatch";
-  let changed = ref false in
-  for w = 0 to words_for src.capacity - 1 do
-    let d = get_word dst w and s = get_word src w in
-    let delta = Int64.logand s (Int64.lognot d) in
-    if delta <> 0L then begin
-      set_word dst w (Int64.logor d s);
-      changed := true;
-      bits_of_word f (64 * w) delta
-    end
-  done;
-  !changed
+let chunk_iter f base = function
+  | None -> ()
+  | Some (Sparse s) ->
+      for k = 0 to s.len - 1 do
+        f (base + s.elts.(k))
+      done
+  | Some (Dense b) ->
+      for w = 0 to chunk_words - 1 do
+        bits_of_word f (base + (64 * w)) (Bytes.get_int64_le b (8 * w))
+      done
 
-let copy t = { words = Bytes.copy t.words; capacity = t.capacity }
+let iter f t =
+  for slot = 0 to Array.length t.chunks - 1 do
+    chunk_iter f (slot lsl chunk_bits) t.chunks.(slot)
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+(* ---- cardinal / equality ----------------------------------------- *)
 
 let popcount64 x =
   let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
@@ -93,30 +197,183 @@ let popcount64 x =
   let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
   Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
 
+let chunk_cardinal = function
+  | None -> 0
+  | Some (Sparse s) -> s.len
+  | Some (Dense b) ->
+      let total = ref 0 in
+      for w = 0 to chunk_words - 1 do
+        total := !total + popcount64 (Bytes.get_int64_le b (8 * w))
+      done;
+      !total
+
 let cardinal t =
   let total = ref 0 in
-  for w = 0 to words_for t.capacity - 1 do
-    total := !total + popcount64 (get_word t w)
-  done;
+  Array.iter (fun c -> total := !total + chunk_cardinal c) t.chunks;
   !total
 
-let iter f t =
-  for w = 0 to words_for t.capacity - 1 do
-    let word = ref (get_word t w) in
-    while !word <> 0L do
-      let b = Int64.logand !word (Int64.neg !word) in
-      let rec log2 v acc = if v = 1L then acc else log2 (Int64.shift_right_logical v 1) (acc + 1) in
-      let bit = log2 b 0 in
-      f ((64 * w) + bit);
-      word := Int64.logxor !word b
-    done
-  done
+(* Equality is over contents, not representation: a sparse chunk, the
+   dense chunk it would promote to, an all-zero dense chunk and a missing
+   chunk can all describe the same set. *)
+let chunk_word base = function
+  | None -> 0L
+  | Some (Dense b) -> Bytes.get_int64_le b (8 * base)
+  | Some (Sparse s) ->
+      let lo = base * 64 in
+      let p = ref (lower_bound s.elts s.len lo) in
+      let word = ref 0L in
+      while !p < s.len && s.elts.(!p) < lo + 64 do
+        word := Int64.logor !word (Int64.shift_left 1L (s.elts.(!p) - lo));
+        incr p
+      done;
+      !word
 
-let fold f t init =
-  let acc = ref init in
-  iter (fun i -> acc := f i !acc) t;
-  !acc
+let equal a b =
+  a.capacity = b.capacity
+  &&
+  let slots = slots_for a.capacity in
+  let rec slot_eq slot =
+    slot >= slots
+    ||
+    let ca = a.chunks.(slot) and cb = b.chunks.(slot) in
+    let rec word_eq w =
+      w >= chunk_words || (chunk_word w ca = chunk_word w cb && word_eq (w + 1))
+    in
+    word_eq 0 && slot_eq (slot + 1)
+  in
+  slot_eq 0
 
-let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+let copy t =
+  {
+    capacity = t.capacity;
+    chunks =
+      Array.map
+        (function
+          | None -> None
+          | Some (Dense b) -> Some (Dense (Bytes.sub b 0 (Bytes.length b)))
+          | Some (Sparse s) -> Some (Sparse { elts = Array.sub s.elts 0 (max 1 s.len); len = s.len }))
+        t.chunks;
+  }
 
-let equal a b = a.capacity = b.capacity && Bytes.equal a.words b.words
+(* ---- union -------------------------------------------------------- *)
+
+(* Union [src]'s chunk [sc] into [dst]'s slot [slot], calling [report]
+   (ascending) for every element newly added to [dst]; returns true iff
+   [dst] changed.  [report] may be a no-op for the plain union. *)
+let chunk_union_into t slot sc ~base ~report =
+  match sc with
+  | None -> false
+  | Some src_chunk -> (
+      match t.chunks.(slot) with
+      | None ->
+          (* fresh copy; everything is new *)
+          let copied =
+            match src_chunk with
+            | Dense b -> Dense (Bytes.sub b 0 (Bytes.length b))
+            | Sparse s -> Sparse { elts = Array.sub s.elts 0 (max 1 s.len); len = s.len }
+          in
+          let any = ref false in
+          chunk_iter
+            (fun i ->
+              any := true;
+              report i)
+            base (Some copied);
+          if !any then begin
+            t.chunks.(slot) <- Some copied;
+            true
+          end
+          else false
+      | Some (Dense db) -> (
+          match src_chunk with
+          | Dense sb ->
+              let changed = ref false in
+              for w = 0 to chunk_words - 1 do
+                let d = Bytes.get_int64_le db (8 * w) and s = Bytes.get_int64_le sb (8 * w) in
+                let delta = Int64.logand s (Int64.lognot d) in
+                if delta <> 0L then begin
+                  Bytes.set_int64_le db (8 * w) (Int64.logor d s);
+                  changed := true;
+                  bits_of_word report (base + (64 * w)) delta
+                end
+              done;
+              !changed
+          | Sparse s ->
+              let changed = ref false in
+              for k = 0 to s.len - 1 do
+                let x = s.elts.(k) in
+                let w = x lsr 6 and bit = x land 63 in
+                let d = Bytes.get_int64_le db (8 * w) in
+                if Int64.logand d (Int64.shift_left 1L bit) = 0L then begin
+                  Bytes.set_int64_le db (8 * w) (Int64.logor d (Int64.shift_left 1L bit));
+                  changed := true;
+                  report (base + x)
+                end
+              done;
+              !changed)
+      | Some (Sparse d) -> (
+          match src_chunk with
+          | Sparse s ->
+              (* merge two sorted arrays, reporting src-only elements *)
+              let merged = Array.make (d.len + s.len) 0 in
+              let delta = Array.make s.len 0 in
+              let nd = ref 0 and i = ref 0 and j = ref 0 and m = ref 0 in
+              while !i < d.len || !j < s.len do
+                if !j >= s.len || (!i < d.len && d.elts.(!i) < s.elts.(!j)) then begin
+                  merged.(!m) <- d.elts.(!i);
+                  incr i;
+                  incr m
+                end
+                else if !i >= d.len || d.elts.(!i) > s.elts.(!j) then begin
+                  merged.(!m) <- s.elts.(!j);
+                  delta.(!nd) <- s.elts.(!j);
+                  incr nd;
+                  incr j;
+                  incr m
+                end
+                else begin
+                  merged.(!m) <- d.elts.(!i);
+                  incr i;
+                  incr j;
+                  incr m
+                end
+              done;
+              if !nd = 0 then false
+              else begin
+                if !m > promote_at then t.chunks.(slot) <- Some (Dense (dense_of_sparse merged !m))
+                else begin
+                  d.elts <- merged;
+                  d.len <- !m
+                end;
+                for k = 0 to !nd - 1 do
+                  report (base + delta.(k))
+                done;
+                true
+              end
+          | Dense sb ->
+              (* promote the destination, then run the dense/dense loop *)
+              let db = dense_of_sparse d.elts d.len in
+              t.chunks.(slot) <- Some (Dense db);
+              let changed = ref false in
+              for w = 0 to chunk_words - 1 do
+                let dw = Bytes.get_int64_le db (8 * w) and sw = Bytes.get_int64_le sb (8 * w) in
+                let delta = Int64.logand sw (Int64.lognot dw) in
+                if delta <> 0L then begin
+                  Bytes.set_int64_le db (8 * w) (Int64.logor dw sw);
+                  changed := true;
+                  bits_of_word report (base + (64 * w)) delta
+                end
+              done;
+              !changed))
+
+let union_into_gen ~what dst src ~report =
+  if src.capacity > dst.capacity then invalid_arg ("Bitset." ^ what ^ ": capacity mismatch");
+  let changed = ref false in
+  for slot = 0 to Array.length src.chunks - 1 do
+    if chunk_union_into dst slot src.chunks.(slot) ~base:(slot lsl chunk_bits) ~report then
+      changed := true
+  done;
+  !changed
+
+let union_into dst src = union_into_gen ~what:"union_into" dst src ~report:(fun _ -> ())
+
+let union_into_iter dst src ~f = union_into_gen ~what:"union_into_iter" dst src ~report:f

@@ -111,9 +111,15 @@ module Builder = struct
         p_recv_gseq = -1;
       }
     in
-    if id = Array.length b.msgs then begin
-      let bigger = Array.make (2 * id) None in
-      Array.blit b.msgs 0 bigger 0 id;
+    if id >= Array.length b.msgs then begin
+      (* grow geometrically from the current capacity — never from the
+         triggering id, which would tie the new size to the caller *)
+      let cap = ref (max 1 (Array.length b.msgs)) in
+      while id >= !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap None in
+      Array.blit b.msgs 0 bigger 0 b.n_msgs;
       b.msgs <- bigger
     end;
     b.msgs.(id) <- Some m;

@@ -10,3 +10,8 @@ let scramble_events p =
   let es = Rdt_pattern.Pattern.events p 0 in
   es.(0) <- es.(Array.length es - 1);
   es
+
+let inflate_vector v =
+  Rdt_dist.Vclock.set v 0 99;
+  Rdt_dist.Vclock.incr v 1;
+  v

@@ -148,6 +148,31 @@ let test_counts () =
   Alcotest.(check int) "initial count" 3 (P.count_kind pat T.Initial);
   check "valid" true (Result.is_ok (P.validate pat))
 
+let test_builder_many_messages () =
+  (* append far past several doublings of the builder's message array
+     (initial capacity 64): every handle must survive, num_messages must
+     stay exact, and each message must carry its own src/dst back out *)
+  let n_msgs = 1039 in
+  let b = P.Builder.create ~n:4 in
+  let handles =
+    List.init n_msgs (fun k ->
+        let src = k mod 4 in
+        let dst = (k + 1 + (k mod 3)) mod 4 in
+        let dst = if dst = src then (dst + 1) mod 4 else dst in
+        (P.Builder.send b ~src ~dst, src, dst))
+  in
+  List.iter (fun (h, _, _) -> P.Builder.recv b h) handles;
+  let pat = P.Builder.finish b in
+  Alcotest.(check int) "num_messages exact" n_msgs (P.num_messages pat);
+  check "valid" true (Result.is_ok (P.validate pat));
+  List.iter
+    (fun (h, src, dst) ->
+      let m = P.message pat h in
+      Alcotest.(check int) (Printf.sprintf "msg %d id" h) h m.T.id;
+      Alcotest.(check int) (Printf.sprintf "msg %d src" h) src m.T.src;
+      Alcotest.(check int) (Printf.sprintf "msg %d dst" h) dst m.T.dst)
+    handles
+
 (* ------------------------------------------------------------------ *)
 (* Figure 1: R-graph                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -538,6 +563,7 @@ let () =
           Alcotest.test_case "intervals" `Quick test_intervals;
           Alcotest.test_case "gseq order" `Quick test_gseq_order;
           Alcotest.test_case "counts & validate" `Quick test_counts;
+          Alcotest.test_case "growth past doublings" `Quick test_builder_many_messages;
         ] );
       ( "rgraph",
         [

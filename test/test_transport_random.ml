@@ -137,6 +137,45 @@ let test_duplicate_data_suppressed () =
     (stats.Transport.duplicates_suppressed >= 30);
   Alcotest.(check int) "drained" 0 (Transport.in_flight tp)
 
+(* Satellite regression: the per-link table must be sparse.  A transport
+   over n = 10_000 endpoints with 100 live links has to allocate O(links)
+   words — the old [Array.init (n * n)] layout was ~10^8 link records
+   before the first send. *)
+let test_sparse_link_table () =
+  let n = 10_000 in
+  let tp =
+    Transport.create ~n ~params:Transport.default_params ~faults:Faults.none
+      ~channel:(Channel.Fixed 5) ~rng:(Rng.create 42) ()
+  in
+  let fresh = Obj.reachable_words (Obj.repr tp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "construction allocates O(1), not O(n^2) (%d words)" fresh)
+    true (fresh < 5_000);
+  (* touch 100 distinct links *)
+  let q = EQ.create () in
+  let delivered = ref 0 in
+  let rec apply emits =
+    List.iter
+      (function
+        | Transport.Deliver _ -> incr delivered
+        | Transport.Wire { at; wire } -> EQ.schedule q ~time:at wire
+        | Transport.Undeliverable _ -> Alcotest.fail "faultless link abandoned a message")
+      emits;
+    match EQ.pop q with
+    | None -> ()
+    | Some (t, w) -> apply (Transport.handle tp ~now:t w)
+  in
+  for k = 0 to 99 do
+    apply (Transport.send tp ~now:0 ~src:(k * 97 mod n) ~dst:(((k * 97) + 1) mod n) k)
+  done;
+  Alcotest.(check int) "100 live links" 100 (Transport.live_links tp);
+  Alcotest.(check int) "all delivered" 100 !delivered;
+  Alcotest.(check int) "drained" 0 (Transport.in_flight tp);
+  let used = Obj.reachable_words (Obj.repr tp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "after 100 links still O(links) (%d words)" used)
+    true (used < 100_000)
+
 let () =
   Alcotest.run "rdt_transport_random"
     [
@@ -149,4 +188,6 @@ let () =
         ] );
       ( "duplicates",
         [ Alcotest.test_case "idempotent re-handling of Data wires" `Quick test_duplicate_data_suppressed ] );
+      ( "allocation",
+        [ Alcotest.test_case "sparse link table at n=10_000" `Quick test_sparse_link_table ] );
     ]
