@@ -10,6 +10,8 @@
      twophase     coordinated Koo-Toueg two-phase checkpointing
      crashrun     inject online crashes and recover while the run continues
      watch        stream a trace (or a live run) through the incremental online checker
+     serve        daemon: many concurrent client streams over a Unix socket
+     feed         client: stream a recorded trace to a running serve daemon
      list         available protocols and environments *)
 
 open Cmdliner
@@ -418,7 +420,7 @@ let table_cmd =
   let table_names =
     [
       "protocols"; "overhead"; "claim"; "mingcp"; "ablation"; "recovery"; "coordinated";
-      "breakeven"; "goodput"; "faults"; "online"; "durable"; "fuzz"; "scale";
+      "breakeven"; "goodput"; "faults"; "online"; "durable"; "fuzz"; "scale"; "serve";
     ]
   in
   let names_arg =
@@ -493,6 +495,9 @@ let table_cmd =
         | "scale" ->
             hdr "BENCH-SCALE: sharded engine throughput (cbr, ring, n=10000)";
             Rdt_harness.Table.print (E.table_scale ~jobs ~report ())
+        | "serve" ->
+            hdr "BENCH-SERVE: multi-stream serving over the session wire protocol (bhmr, n=8)";
+            Rdt_harness.Table.print (E.table_serve ~jobs ~report ())
         | _ -> assert false)
       names;
     Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
@@ -777,6 +782,82 @@ let trace_cmd =
   in
   Cmd.group (Cmd.info "trace" ~doc ~man) [ trace_summary_cmd; trace_filter_cmd; trace_replay_cmd ]
 
+(* ---- the stream-subcommand surface (watch, serve, feed) ----
+
+   One flag group and one exit-code table, consumed by all three
+   subcommands instead of copy-pasted per command. *)
+
+(* The unified exit-code table.  [Session.Wire.exit_code_of_reject]
+   implements the same mapping for wire-level rejections. *)
+let exit_code_man =
+  [
+    `S Manpage.s_exit_status;
+    `P
+      "The stream subcommands ($(b,watch), $(b,serve), $(b,feed)) share one exit-code \
+       table: $(b,0) the stream completed and RDT held; $(b,1) the stream completed and \
+       the final verdict is RDT violated; $(b,2) the stream is inconsistent (an event no \
+       run could have produced, a stream ending mid-rollback-cascade, or a protocol error \
+       on the serve socket); $(b,3) durable state is corrupt beyond every recovery \
+       fallback, or the service is unreachable.";
+  ]
+
+(* --durable DIR / --snapshot-every K / --trace FILE, shared verbatim by
+   watch and serve. *)
+let session_flags_term =
+  let durable_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "durable" ] ~docv:"DIR"
+          ~doc:
+            "Persist checker state under $(docv) (write-ahead log + snapshots) and \
+             auto-resume from it on restart.  $(b,watch) keeps one session in $(docv); \
+             $(b,serve) keeps one per stream in $(docv)/$(i,STREAM)/.")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int Rdt_durable.Session.default_config.Rdt_durable.Session.snapshot_every
+      & info [ "snapshot-every" ] ~docv:"K"
+          ~doc:"With $(b,--durable): install a snapshot generation every $(docv) events.")
+  in
+  Term.(
+    const (fun durable snapshot_every trace -> (durable, snapshot_every, trace))
+    $ durable_arg $ snapshot_every_arg $ trace_arg)
+
+let inconsistent_exit e =
+  Format.eprintf "rdtsim: inconsistent trace: %s@." e;
+  exit 2
+
+(* Drive one checker session over a recorded event list: skip the
+   already-durable prefix, optionally pace (gives kill-mid-stream
+   harnesses a window), exit 2 on an inconsistent event or a stream
+   that ends mid-rollback-cascade.  Returns the final summary. *)
+let drive_session sess events ~skip ~pace =
+  let module O = Rdt_check.Online in
+  if skip > List.length events then
+    inconsistent_exit
+      (Printf.sprintf "durable state covers %d events but the trace has only %d" skip
+         (List.length events));
+  List.iteri
+    (fun i ev ->
+      if i >= skip then begin
+        if pace > 0 then Unix.sleepf (1e-6 *. float_of_int pace);
+        match Rdt_check.Session.observe sess ev with
+        | Ok () -> ()
+        | Error e -> inconsistent_exit e
+      end)
+    events;
+  let engine = Rdt_check.Session.engine sess in
+  (match O.orphan_messages engine with
+  | [] -> ()
+  | orphans ->
+      inconsistent_exit
+        (Printf.sprintf "stream ends mid-rollback-cascade (orphaned messages %s)"
+           (String.concat ", " (List.map string_of_int orphans))));
+  Rdt_check.Session.close sess;
+  O.summary engine
+
 let watch_cmd =
   let doc = "Stream events through the incremental online RDT checker." in
   let man =
@@ -806,22 +887,6 @@ let watch_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"JSONL trace file to stream (default: simulate a live run).")
   in
-  let durable_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "durable" ] ~docv:"DIR"
-          ~doc:
-            "Persist checker state under $(docv) (write-ahead log + snapshots) and \
-             auto-resume from it on restart.  Requires $(i,FILE).")
-  in
-  let snapshot_every_arg =
-    Arg.(
-      value
-      & opt int Rdt_durable.Session.default_config.Rdt_durable.Session.snapshot_every
-      & info [ "snapshot-every" ] ~docv:"K"
-          ~doc:"With $(b,--durable): install a snapshot generation every $(docv) events.")
-  in
   let pace_arg =
     Arg.(
       value
@@ -831,7 +896,7 @@ let watch_cmd =
             "Sleep $(docv) microseconds between streamed events (gives kill-mid-stream \
              harnesses a window; 0 = full speed).")
   in
-  let action env protocol n seed messages net file durable snapshot_every pace =
+  let action env protocol n seed messages net file (durable, snapshot_every, trace) pace =
     let module O = Rdt_check.Online in
     let finish ?dt (s : O.summary) =
       Format.printf "%a@." O.pp_summary s;
@@ -842,10 +907,11 @@ let watch_cmd =
       | _ -> ());
       if not s.rdt then exit 1
     in
-    let inconsistent e =
-      Format.eprintf "rdtsim: inconsistent trace: %s@." e;
-      exit 2
-    in
+    (match (trace, file) with
+    | Some _, Some _ ->
+        Format.eprintf "rdtsim: --trace records the live run; drop it when streaming FILE@.";
+        exit Cmd.Exit.cli_error
+    | _ -> ());
     match (durable, file) with
     | Some _, None ->
         Format.eprintf "rdtsim: --durable needs a trace FILE to stream@.";
@@ -853,7 +919,7 @@ let watch_cmd =
     | Some dir, Some file -> (
         let events = load_trace file in
         match O.trace_process_count events with
-        | Error e -> inconsistent e
+        | Error e -> inconsistent_exit e
         | Ok n -> (
             try
               let config =
@@ -865,48 +931,302 @@ let watch_cmd =
                   Format.eprintf "rdtsim: recovered: %a@." Rdt_durable.Session.pp_recovery r
               | None -> ());
               let skip = O.events_seen (Rdt_durable.Session.engine s) in
-              if skip > List.length events then
-                inconsistent
-                  (Printf.sprintf "durable state covers %d events but the trace has only %d"
-                     skip (List.length events));
+              let sess = Rdt_durable.Session.checker_session s in
               let t0 = Unix.gettimeofday () in
-              (try
-                 List.iteri
-                   (fun i ev ->
-                     if i >= skip then begin
-                       if pace > 0 then Unix.sleepf (1e-6 *. float_of_int pace);
-                       Rdt_durable.Session.observe s ev
-                     end)
-                   events
-               with O.Inconsistent e -> inconsistent e);
-              let engine = Rdt_durable.Session.engine s in
-              (match O.orphan_messages engine with
-              | [] -> ()
-              | orphans ->
-                  inconsistent
-                    (Printf.sprintf "stream ends mid-rollback-cascade (orphaned messages %s)"
-                       (String.concat ", " (List.map string_of_int orphans))));
-              Rdt_durable.Session.close s;
-              finish ~dt:(Unix.gettimeofday () -. t0) (O.summary engine)
+              let summary = drive_session sess events ~skip ~pace in
+              finish ~dt:(Unix.gettimeofday () -. t0) summary
             with Rdt_durable.Io.Error err ->
               Format.eprintf "rdtsim: unrecoverable durable state: %s@."
                 (Rdt_durable.Io.error_message err);
               exit 3))
-    | None, Some file ->
+    | None, Some file -> (
         let events = load_trace file in
-        let t0 = Unix.gettimeofday () in
-        (match O.check_trace events with
-        | Error e -> inconsistent e
-        | Ok t -> finish ~dt:(Unix.gettimeofday () -. t0) (O.summary t))
-    | None, None -> (
-        let r = Rdt_core.Runtime.run (config ~online:true env protocol n seed messages net) in
-        print_metrics r;
-        match r.online with Some s -> finish s | None -> assert false)
+        match O.trace_process_count events with
+        | Error e -> inconsistent_exit e
+        | Ok n ->
+            let sess = Rdt_check.Session.ephemeral ~n () in
+            let t0 = Unix.gettimeofday () in
+            let summary = drive_session sess events ~skip:0 ~pace in
+            finish ~dt:(Unix.gettimeofday () -. t0) summary)
+    | None, None ->
+        with_trace trace ~mode:"watch" ~n ~protocol ~env ~seed (fun tr ->
+            let r =
+              Rdt_core.Runtime.run (config ~trace:tr ~online:true env protocol n seed messages net)
+            in
+            print_metrics r;
+            match r.online with Some s -> finish s | None -> assert false)
   in
-  Cmd.v (Cmd.info "watch" ~doc ~man)
+  Cmd.v
+    (Cmd.info "watch" ~doc ~man:(man @ exit_code_man))
     Term.(
       const action $ env_arg $ protocol_arg $ n_arg $ seed_arg $ messages_arg $ faults_term
-      $ file_arg $ durable_arg $ snapshot_every_arg $ pace_arg)
+      $ file_arg $ session_flags_term $ pace_arg)
+
+let serve_cmd =
+  let doc = "Serve many concurrent trackability streams over a Unix socket." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a long-lived daemon on a Unix-domain socket.  Each client opens a named \
+         $(i,stream) (a $(b,hello) frame), appends trace events in length-delimited JSONL \
+         frames, and can at any point query the live verdict: $(b,rdt-so-far), $(b,zcycle), \
+         $(b,summary), $(b,trackable), and minimum/maximum consistent global checkpoints of \
+         a set (Corollary 4.5 machinery).  One incremental online checker runs per stream; \
+         busy streams are applied in bounded batches fanned out across $(b,--jobs) domains.";
+      `P
+        "Streams outlive connections: a client that disconnects reattaches by re-sending \
+         $(b,hello) with the same stream name and is told how many events are already \
+         applied.  With $(b,--durable) $(i,DIR), every stream is also persisted (WAL + \
+         snapshots) under $(i,DIR)/$(i,STREAM)/, so a SIGKILL'd daemon resumes all streams \
+         with identical verdicts on restart.  Ingest is backpressured: when a stream's \
+         pending queue exceeds $(b,--max-pending), the daemon stops reading that client's \
+         socket until the backlog drains — no frame is ever dropped.";
+      `P "$(b,rdtsim feed) is the matching client.  Shut down with SIGINT/SIGTERM.";
+    ]
+  in
+  let socket_arg =
+    Arg.(
+      value & opt string "rdtsim.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path to listen on.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-batch" ] ~docv:"B"
+          ~doc:"Maximum events applied per stream per loop iteration.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-pending" ] ~docv:"Q"
+          ~doc:"Pending-queue bound per stream before ingest backpressure engages.")
+  in
+  let action socket (durable, snapshot_every, trace) jobs max_batch max_pending =
+    let module Server = Rdt_serve.Server in
+    let jobs = resolve_jobs jobs in
+    let mapper =
+      if jobs <= 1 then Server.seq_mapper
+      else { Server.map = (fun f xs -> Rdt_harness.Pool.map ~jobs f xs) }
+    in
+    let stop_flag = ref false in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true));
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop_flag := true));
+    let with_audit k =
+      match trace with
+      | None -> k Rdt_obs.Trace.null
+      | Some file -> Out_channel.with_open_text file (fun oc -> k (Rdt_obs.Trace.to_channel oc))
+    in
+    with_audit (fun tr ->
+        let cfg =
+          {
+            Server.socket;
+            durable_root = durable;
+            snapshot_every;
+            max_batch;
+            max_pending;
+          }
+        in
+        match Server.create ~mapper ~trace:tr cfg with
+        | server ->
+            Format.eprintf "serve: listening on %s (%s, jobs=%d)@." socket
+              (match durable with
+              | Some dir -> Printf.sprintf "durable under %s" dir
+              | None -> "ephemeral")
+              jobs;
+            Server.run ~stop:(fun () -> !stop_flag) server;
+            let open_streams = Server.streams server in
+            Server.close server;
+            Format.eprintf "serve: shut down (%d stream%s still open)@."
+              (List.length open_streams)
+              (if List.length open_streams = 1 then "" else "s")
+        | exception Unix.Unix_error (e, _, _) ->
+            Format.eprintf "rdtsim: serve: cannot listen on %s: %s@." socket
+              (Unix.error_message e);
+            exit 3)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man:(man @ exit_code_man))
+    Term.(
+      const action $ socket_arg $ session_flags_term $ jobs_arg $ max_batch_arg
+      $ max_pending_arg)
+
+let feed_cmd =
+  let doc = "Stream a recorded trace to a running serve daemon and print the verdict." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The client half of $(b,rdtsim serve): opens (or reattaches to) the named stream, \
+         skips the prefix the daemon already holds, streams the rest of the trace in \
+         batches, and prints the daemon's final verdict to stdout in exactly the format of \
+         $(b,rdtsim watch) $(i,FILE) — the two outputs diff clean for the same trace.";
+    ]
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file to stream.")
+  in
+  let socket_arg =
+    Arg.(
+      value & opt string "rdtsim.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon.")
+  in
+  let stream_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "stream" ] ~docv:"NAME" ~doc:"Stream name to open or reattach to.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "batch" ] ~docv:"B" ~doc:"Events per $(b,events) frame.")
+  in
+  let pace_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "pace" ] ~docv:"MICROS"
+          ~doc:
+            "Stream at most one event per $(docv) microseconds, as $(b,watch --pace) does \
+             (gives kill-mid-stream harnesses a window; 0 = full speed).")
+  in
+  let ask_arg =
+    Arg.(
+      value
+      & opt_all (enum [ ("rdt-so-far", `Rdt_so_far); ("zcycle", `Zcycle) ]) []
+      & info [ "ask" ] ~docv:"QUERY"
+          ~doc:
+            "Also run a live query ($(b,rdt-so-far) or $(b,zcycle)) after the stream is \
+             fed; the answer goes to stderr (repeatable).")
+  in
+  let action file socket stream batch pace asks =
+    let module W = Rdt_check.Session.Wire in
+    let module Client = Rdt_serve.Client in
+    if batch < 1 then invalid_arg "Cli: --batch expects a positive integer";
+    let events = load_trace file in
+    let fail_reject code error =
+      Format.eprintf "rdtsim: feed: %s@." error;
+      exit (W.exit_code_of_reject code)
+    in
+    let fail_transport error =
+      Format.eprintf "rdtsim: feed: %s@." error;
+      exit 3
+    in
+    match Rdt_check.Online.trace_process_count events with
+    | Error e -> inconsistent_exit e
+    | Ok n -> (
+        let c =
+          match Client.connect ~socket with
+          | c -> c
+          | exception Unix.Unix_error (e, _, _) ->
+              fail_transport
+                (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+        in
+        (* responses arrive interleaved with our writes: acks flow back
+           per applied batch and must be drained or the daemon's reply
+           buffer (and ours) only grows *)
+        let handle_async = function
+          | W.Ack _ -> ()
+          | W.Rejected { code; error } -> fail_reject code error
+          | _ -> fail_transport "unexpected response from server"
+        in
+        let rec wait_for pick =
+          match Client.recv c with
+          | Error e -> fail_transport e
+          | Ok resp -> (
+              match pick resp with
+              | Some v -> v
+              | None ->
+                  handle_async resp;
+                  wait_for pick)
+        in
+        try
+          Client.send c (W.Hello { version = W.version; stream; n });
+          let resumed =
+          wait_for (function
+            | W.Welcome { resumed; _ } -> Some resumed
+            | _ -> None)
+        in
+        if resumed > 0 then
+          Format.eprintf "rdtsim: feed: resuming %s at event %d@." stream resumed;
+        if resumed > List.length events then
+          inconsistent_exit
+            (Printf.sprintf "stream %s already holds %d events but the trace has only %d"
+               stream resumed (List.length events));
+        let t0 = Unix.gettimeofday () in
+        let rec batches = function
+          | [] -> ()
+          | evs ->
+              let rec split k acc = function
+                | rest when k = 0 -> (List.rev acc, rest)
+                | [] -> (List.rev acc, [])
+                | ev :: rest -> split (k - 1) (ev :: acc) rest
+              in
+              let frame, rest = split batch [] evs in
+              (* per event, like watch --pace, not per frame *)
+              if pace > 0 then Unix.sleepf (1e-6 *. float_of_int (pace * List.length frame));
+              Client.send c (W.Events frame);
+              List.iter handle_async (Client.poll c);
+              batches rest
+        in
+        (try batches (List.filteri (fun i _ -> i >= resumed) events)
+         with Failure e -> fail_transport e);
+        (* force durability of the whole stream before querying; the
+           resulting ack is indistinguishable from batch acks and is
+           drained silently — Goodbye carries the authoritative count *)
+        Client.send c W.Sync;
+        List.iteri
+          (fun i ask ->
+            let query = match ask with `Rdt_so_far -> W.Rdt_so_far | `Zcycle -> W.Zcycle in
+            Client.send c (W.Query { id = i; query });
+            match
+              wait_for (function
+                | W.Answer { answer; _ } -> Some (Ok answer)
+                | W.Failed { error; _ } -> Some (Error error)
+                | _ -> None)
+            with
+            | Ok (W.Flag b) ->
+                Format.eprintf "%s: %b@."
+                  (match ask with `Rdt_so_far -> "rdt so far" | `Zcycle -> "zcycle")
+                  b
+            | Ok _ -> fail_transport "unexpected answer shape"
+            | Error e -> Format.eprintf "rdtsim: feed: query failed: %s@." e)
+          asks;
+        Client.send c W.Bye;
+        let seen, summary, orphans =
+          wait_for (function
+            | W.Goodbye { seen; summary; orphans } -> Some (seen, summary, orphans)
+            | _ -> None)
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        Client.close c;
+        (match orphans with
+        | [] -> ()
+        | orphans ->
+            inconsistent_exit
+              (Printf.sprintf "stream ends mid-rollback-cascade (orphaned messages %s)"
+                 (String.concat ", " (List.map string_of_int orphans))));
+        Format.printf "%a@." Rdt_check.Online.pp_summary summary;
+        if summary.events > 0 then
+          Format.eprintf "fed %d events in %.3f s (%.0f ns/event, %d total on stream)@."
+            (List.length events - resumed)
+            dt
+            (1e9 *. dt /. float_of_int (max 1 (List.length events - resumed)))
+            seen;
+        if not summary.rdt then exit 1
+        with Unix.Unix_error (e, _, _) ->
+          (* a daemon that died mid-conversation: same exit as the
+             failed-to-connect case, not an uncaught-exception trace *)
+          fail_transport
+            (Printf.sprintf "connection to %s lost: %s" socket (Unix.error_message e)))
+  in
+  Cmd.v
+    (Cmd.info "feed" ~doc ~man:(man @ exit_code_man))
+    Term.(
+      const action $ file_arg $ socket_arg $ stream_arg $ batch_arg $ pace_arg $ ask_arg)
 
 let fuzz_cmd =
   let doc = "Fuzz the whole stack with generated adversarial scenarios." in
@@ -1140,7 +1460,7 @@ let main =
     (Cmd.info "rdtsim" ~version:"1.0.0" ~doc)
     [
       run_cmd; verify_cmd; experiments_cmd; table_cmd; recover_cmd; snapshot_cmd; twophase_cmd;
-      crashrun_cmd; trace_cmd; watch_cmd; fuzz_cmd; scale_cmd; list_cmd;
+      crashrun_cmd; trace_cmd; watch_cmd; serve_cmd; feed_cmd; fuzz_cmd; scale_cmd; list_cmd;
     ]
 
 let () =

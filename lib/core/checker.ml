@@ -183,12 +183,6 @@ let run ?(algo = `Rgraph) ?tdv pat =
   in
   { r with seconds = Rdt_obs.Meter.now () -. t0 }
 
-let check ?tdv pat = run ~algo:`Rgraph ?tdv pat
-
-let check_chains pat = run ~algo:`Chains pat
-
-let check_doubling pat = run ~algo:`Doubling pat
-
 let strict_gaps pat =
   let n = Pattern.n pat in
   let gaps = ref 0 in

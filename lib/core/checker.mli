@@ -69,18 +69,6 @@ val algo_of_string : string -> (algo, string) result
 val all_algos : algo list
 (** Every algorithm, in the order reports are conventionally printed. *)
 
-val check : ?tdv:Rdt_pattern.Tdv.t -> Rdt_pattern.Pattern.t -> report
-[@@ocaml.deprecated "Use Checker.run ~algo:`Rgraph instead."]
-(** @deprecated Thin wrapper for [run ~algo:`Rgraph]. *)
-
-val check_chains : Rdt_pattern.Pattern.t -> report
-[@@ocaml.deprecated "Use Checker.run ~algo:`Chains instead."]
-(** @deprecated Thin wrapper for [run ~algo:`Chains]. *)
-
-val check_doubling : Rdt_pattern.Pattern.t -> report
-[@@ocaml.deprecated "Use Checker.run ~algo:`Doubling instead."]
-(** @deprecated Thin wrapper for [run ~algo:`Doubling]. *)
-
 val strict_gaps : Rdt_pattern.Pattern.t -> int
 (** A probe into a definitional subtlety.  Definition 3.3 read literally
     asks for a causal chain starting in {e exactly} the interval

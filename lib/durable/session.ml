@@ -329,3 +329,12 @@ let abort t =
     t.closed <- true;
     Wal.abort t.wal
   end
+
+let checker_session t =
+  Rdt_check.Session.of_backend
+    {
+      Rdt_check.Session.engine = (fun () -> engine t);
+      observe = (fun ev -> observe t ev);
+      sync = (fun () -> sync t);
+      close = (fun () -> close t);
+    }

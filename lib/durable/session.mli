@@ -84,3 +84,10 @@ val close : t -> unit
 val abort : t -> unit
 (** Release {e without} syncing — crash-simulation teardown: whatever a
     simulated crash left un-flushed must stay lost. *)
+
+val checker_session : t -> Rdt_check.Session.t
+(** Adapt a durable session to the unified checker-session interface:
+    [observe] is {!observe} (engine first, WAL second — an inconsistent
+    event is never persisted), [sync] is {!sync}, [close] is {!close}.
+    The adapter shares this session's state; drive a given session
+    through one surface or the other, not both. *)

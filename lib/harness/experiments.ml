@@ -1000,6 +1000,159 @@ let table_scale ?jobs ?report ?(params = Scale.default_params) () =
     ];
   t
 
+(* ------------------------------------------------------------------ *)
+(* BENCH-SERVE: multi-stream serving over the session wire protocol    *)
+(* ------------------------------------------------------------------ *)
+
+(* The full client/daemon path in-process: N clients stream the same
+   recorded trace to an [Rdt_serve.Server] over a real Unix socket —
+   framing, codec, backpressure, batched parallel apply — then query it
+   live and say goodbye.  Doubles as a gate: every per-stream verdict
+   must equal the serial [Online.check_trace] baseline. *)
+let table_serve ?jobs ?report ?(streams = 4) ?(min_events = 4_000) () =
+  let module Server = Rdt_serve.Server in
+  let module Client = Rdt_serve.Client in
+  let module W = Rdt_check.Session.Wire in
+  let protocol = Registry.find_exn "bhmr" in
+  let env = Rdt_workloads.Registry.find_exn "random" in
+  let tr = Rdt_obs.Trace.ring ~capacity:(8 * min_events) in
+  ignore
+    (Runtime.run (Runtime.configure ~n:8 ~seed:1 ~messages:(min_events / 2) ~trace:tr env protocol));
+  let events = Rdt_obs.Trace.events tr in
+  let nev = List.length events in
+  let n =
+    match Rdt_check.Online.trace_process_count events with
+    | Ok n -> n
+    | Error e -> invalid_arg ("Experiments.table_serve: " ^ e)
+  in
+  let baseline =
+    match Rdt_check.Online.check_trace events with
+    | Ok t -> Rdt_check.Online.summary t
+    | Error e -> invalid_arg ("Experiments.table_serve: inconsistent trace: " ^ e)
+  in
+  let socket =
+    incr scratch_counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rdt-serve-%d-%d.sock" (Unix.getpid ()) !scratch_counter)
+  in
+  let meter = Rdt_obs.Meter.default in
+  let query_span () =
+    match List.assoc_opt "serve.query" (Rdt_obs.Meter.spans meter) with
+    | Some s -> s
+    | None -> { Rdt_obs.Meter.calls = 0; seconds = 0. }
+  in
+  let span0 = query_span () in
+  let mapper = { Server.map = (fun f xs -> Pool.map ?jobs f xs) } in
+  let server = Server.create ~mapper ~meter (Server.default_config ~socket) in
+  let t0 = Rdt_obs.Meter.now () in
+  let clients = Array.init streams (fun _ -> Client.connect ~socket) in
+  let inbox = Array.make streams [] in
+  let pump_until pred =
+    let budget = ref 1_000_000 in
+    while not (pred ()) do
+      decr budget;
+      if !budget = 0 then invalid_arg "Experiments.table_serve: server made no progress";
+      (* the select timeout inside [step] doubles as the idle wait, so
+         the loop never spins and never sleeps outside the server *)
+      ignore (Server.step ~timeout:0.0005 server : int);
+      Array.iteri (fun i c -> inbox.(i) <- inbox.(i) @ Client.poll c) clients
+    done
+  in
+  let all_have pred = Array.for_all (fun rs -> List.exists pred rs) inbox in
+  Array.iteri
+    (fun i c ->
+      Client.send c (W.Hello { version = W.version; stream = Printf.sprintf "bench-%d" i; n }))
+    clients;
+  pump_until (fun () -> all_have (function W.Welcome _ -> true | _ -> false));
+  (* stream in frames of 256 events, draining between rounds so client
+     inboxes and kernel buffers stay bounded *)
+  let rec rounds evs =
+    match evs with
+    | [] -> ()
+    | _ ->
+        let rec split k acc = function
+          | rest when k = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | ev :: rest -> split (k - 1) (ev :: acc) rest
+        in
+        let frame, rest = split 256 [] evs in
+        Array.iter (fun c -> Client.send c (W.Events frame)) clients;
+        while Server.step server > 0 do
+          ()
+        done;
+        Array.iteri (fun i c -> inbox.(i) <- inbox.(i) @ Client.poll c) clients;
+        rounds rest
+  in
+  rounds events;
+  (* live queries: full summary plus a Corollary 4.5 minimum-GCP answer
+     (forces a pattern reconstruction on the server) *)
+  Array.iter
+    (fun c ->
+      Client.send c (W.Query { id = 0; query = W.Summary });
+      Client.send c (W.Query { id = 1; query = W.Min_gcp [ (0, 0) ] }))
+    clients;
+  pump_until (fun () ->
+      all_have (function W.Answer { id = 1; _ } -> true | _ -> false));
+  Array.iter (fun rs ->
+      List.iter
+        (function
+          | W.Answer { id = 0; answer = W.Stats s } ->
+              if s <> baseline then
+                invalid_arg "Experiments.table_serve: served summary diverged from baseline"
+          | W.Answer { id = 1; answer = W.Cut None } ->
+              invalid_arg "Experiments.table_serve: min-GCP query found no consistent cut"
+          | W.Failed { error; _ } -> invalid_arg ("Experiments.table_serve: query failed: " ^ error)
+          | _ -> ())
+        rs)
+    inbox;
+  Array.iter (fun c -> Client.send c W.Bye) clients;
+  pump_until (fun () -> all_have (function W.Goodbye _ -> true | _ -> false));
+  let seconds = Rdt_obs.Meter.now () -. t0 in
+  Array.iteri
+    (fun i rs ->
+      List.iter
+        (function
+          | W.Goodbye { summary; _ } ->
+              if summary <> baseline then
+                invalid_arg
+                  (Printf.sprintf
+                     "Experiments.table_serve: stream %d's verdict diverged from baseline" i)
+          | _ -> ())
+        rs)
+    inbox;
+  Array.iter Client.close clients;
+  Server.close server;
+  let span1 = query_span () in
+  let queries = span1.Rdt_obs.Meter.calls - span0.Rdt_obs.Meter.calls in
+  let query_ns =
+    1e9
+    *. (span1.Rdt_obs.Meter.seconds -. span0.Rdt_obs.Meter.seconds)
+    /. float_of_int (max 1 queries)
+  in
+  let total = streams * nev in
+  let events_per_sec = float_of_int total /. Float.max 1e-9 seconds in
+  (match report with
+  | None -> ()
+  | Some rp ->
+      Bench_report.add rp ~table:"BENCH-SERVE" ~protocol:"bhmr" ~env:"random" ~seed:1 ~seconds;
+      Bench_report.add_micro rp ~name:"serve.events_per_sec" ~ns:events_per_sec;
+      Bench_report.add_micro rp ~name:"serve.query_ns" ~ns:query_ns);
+  let t =
+    Table.create
+      ~header:[ "streams"; "events/stream"; "events/s"; "queries"; "ns/query"; "rdt" ]
+  in
+  Table.add_row t
+    [
+      string_of_int streams;
+      string_of_int nev;
+      Table.cell_f events_per_sec;
+      string_of_int queries;
+      Table.cell_f query_ns;
+      string_of_bool baseline.Rdt_check.Online.rdt;
+    ];
+  t
+
 let run_all ?(quick = false) ?jobs ?report () =
   let seeds = if quick then Experiment.quick_seeds else Experiment.default_seeds in
   let t0 = Rdt_obs.Meter.now () in
@@ -1051,5 +1204,8 @@ let run_all ?(quick = false) ?jobs ?report () =
          (if quick then { Scale.default_params with Scale.n = 1_000; messages = 100_000 }
           else Scale.default_params)
        ());
+  Format.printf
+    "@.== BENCH-SERVE: multi-stream serving over the session wire protocol (bhmr, n=8) ==@.";
+  Table.print (table_serve ?jobs ?report ~min_events:(if quick then 2_000 else 4_000) ());
   (match report with Some r -> Bench_report.set_wall r (Rdt_obs.Meter.now () -. t0) | None -> ());
   Format.print_flush ()

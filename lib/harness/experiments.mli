@@ -155,6 +155,21 @@ val table_scale : ?jobs:int -> ?report:Bench_report.t -> ?params:Scale.params ->
     the [BENCH-SCALE] cell and the [scale.events_per_sec] /
     [scale.bytes_per_process] micros. *)
 
+val table_serve :
+  ?jobs:int -> ?report:Bench_report.t -> ?streams:int -> ?min_events:int -> unit -> Table.t
+(** BENCH-SERVE (extension): the full [rdtsim serve] client/daemon path
+    in-process — [streams] clients each stream the same recorded
+    ~[min_events]-event trace to an {!Rdt_serve.Server} over a real
+    Unix socket (framing, versioned codec, bounded-queue backpressure,
+    batched apply fanned out over [jobs] domains), then ask live
+    queries (summary + a Corollary 4.5 minimum-GCP) and close.  Doubles
+    as a gate: every served verdict must equal the serial
+    [Online.check_trace] baseline, or the bench raises.  With
+    [?report], records the [BENCH-SERVE] cell and the
+    [serve.events_per_sec] / [serve.query_ns] micros; the server
+    meters the [serve.*] counters and spans into
+    {!Rdt_obs.Meter.default}. *)
+
 (** {1 Everything} *)
 
 val run_all : ?quick:bool -> ?jobs:int -> ?report:Bench_report.t -> unit -> unit

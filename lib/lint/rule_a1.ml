@@ -3,10 +3,12 @@
    The compiler's own alert only warns (and is routinely silenced in
    test code); this rule makes drift a lint failure instead.  Any
    Texp_ident whose value description carries [@@ocaml.deprecated] is
-   flagged — which covers the Checker.check* compat wrappers as well as
-   anything Stdlib deprecates under a future compiler.  The one pinned
-   compat test is allowlisted in .rdtlint, keeping the exception
-   explicit and counted. *)
+   flagged — the tree itself no longer exports deprecated values (the
+   Checker.check* compat wrappers completed their cycle and were
+   removed), so today this guards against anything Stdlib deprecates
+   under a future compiler, and against new deprecations entering the
+   tree without a migration plan.  Note the attribute only reaches
+   [val_attributes] from an [.mli] declaration, never from a [let]. *)
 
 let deprecation_of (attrs : Parsetree.attributes) =
   List.find_map

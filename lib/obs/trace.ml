@@ -91,6 +91,8 @@ let escape s =
     s;
   Buffer.contents buf
 
+let json_escape = escape
+
 let int_array_json a =
   "[" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ "]"
 
@@ -335,6 +337,19 @@ module Json = struct
   let parse s = match parse_exn s with v -> Ok v | exception Parse_error e -> Error e
 
   let member name = function Obj o -> List.assoc_opt name o | _ -> None
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%.17g" f
+    | String s -> "\"" ^ escape s ^ "\""
+    | Arr items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+    | Obj fields ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ to_string v) fields)
+        ^ "}"
 end
 
 let decode line =

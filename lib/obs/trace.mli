@@ -136,10 +136,19 @@ module Json : sig
 
   val member : string -> t -> t option
   (** Field lookup; [None] on missing field or non-object. *)
+
+  val to_string : t -> string
+  (** Serialize back to a single-line JSON document using the same
+      string escapes {!encode} produces. [parse_exn (to_string v)]
+      round-trips for every value {!parse_exn} can return. *)
 end
 
 val encode : event -> string
 (** One JSON object, no trailing newline. *)
+
+val json_escape : string -> string
+(** The string-escape {!encode} uses, for layers composing their own
+    JSON around encoded events (the session wire codec). *)
 
 val decode : string -> (event, string) result
 

@@ -1,0 +1,104 @@
+module W = Rdt_check.Session.Wire
+module F = Rdt_check.Session.Frame
+module Meter = Rdt_obs.Meter
+
+type t = {
+  fd : Unix.file_descr;
+  dec : F.decoder;
+  mutable at_eof : bool;
+  mutable closed : bool;
+}
+
+let connect ~socket =
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     Unix.close fd;
+     raise e);
+  { fd; dec = F.decoder (); at_eof = false; closed = false }
+
+let send t req =
+  let frame = F.encode (W.encode_request req) in
+  let len = String.length frame in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring t.fd frame !written (len - !written)
+  done
+
+let buf = Bytes.create 65536
+
+(* Read once; [blocking:false] probes with a zero-timeout select first. *)
+let read_some t ~blocking ~timeout =
+  if t.at_eof then false
+  else begin
+    let ready =
+      if blocking then (
+        match Unix.select [ t.fd ] [] [] timeout with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false)
+      else
+        match Unix.select [ t.fd ] [] [] 0. with
+        | [], _, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not ready then false
+    else
+      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+          t.at_eof <- true;
+          false
+      | n ->
+          F.feed t.dec buf ~off:0 ~len:n;
+          true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+  end
+
+let next_frame t =
+  match F.next t.dec with
+  | Ok None -> None
+  | Ok (Some payload) -> (
+      match W.decode_response payload with
+      | Ok resp -> Some resp
+      | Error e -> failwith (Printf.sprintf "bad response from server: %s" e))
+  | Error e -> failwith (Printf.sprintf "bad frame from server: %s" e)
+
+let poll t =
+  let rec drain_socket () = if read_some t ~blocking:false ~timeout:0. then drain_socket () in
+  drain_socket ();
+  let rec frames acc =
+    match next_frame t with Some r -> frames (r :: acc) | None -> List.rev acc
+  in
+  let out = frames [] in
+  if t.at_eof && out = [] && F.buffered t.dec > 0 then
+    failwith "server closed the connection mid-frame";
+  out
+
+let recv ?(timeout = 30.) t =
+  let deadline = Meter.now () +. timeout in
+  let rec go () =
+    match next_frame t with
+    | Some r -> Ok r
+    | None ->
+        if t.at_eof then Error "server closed the connection"
+        else begin
+          let remaining = deadline -. Meter.now () in
+          if remaining <= 0. then Error "timed out waiting for the server"
+          else begin
+            ignore (read_some t ~blocking:true ~timeout:remaining);
+            go ()
+          end
+        end
+    | exception Failure e -> Error e
+  in
+  go ()
+
+let eof t = t.at_eof
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

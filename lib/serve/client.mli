@@ -1,0 +1,34 @@
+(** Client side of the serve wire protocol: a connected socket plus an
+    incremental frame decoder.
+
+    Writes are blocking (the socket stays in blocking mode for writes
+    via [send]); reads come in two flavors so both deployment shapes
+    work from one implementation:
+
+    - {!poll} never blocks — in-process tests interleave client writes
+      with [Server.step] calls on the same thread;
+    - {!recv} blocks up to a timeout — the [rdtsim feed] CLI talks to a
+      daemon in another process. *)
+
+type t
+
+val connect : socket:string -> t
+(** @raise Unix.Unix_error when the daemon is not listening. *)
+
+val send : t -> Rdt_check.Session.Wire.request -> unit
+(** Frame and write the request (complete write; blocking). *)
+
+val poll : t -> Rdt_check.Session.Wire.response list
+(** Drain everything available without blocking: reads until the
+    socket would block, returns all complete frames (possibly none).
+    @raise Failure on a malformed frame or response, or EOF with
+    undecoded bytes buffered. *)
+
+val recv : ?timeout:float -> t -> (Rdt_check.Session.Wire.response, string) result
+(** The next response, waiting up to [timeout] seconds (default 30).
+    [Error] on timeout, EOF, or a malformed frame. *)
+
+val eof : t -> bool
+(** The server closed its end (observed by a previous {!poll}/{!recv}). *)
+
+val close : t -> unit

@@ -1,17 +1,19 @@
-(* A1 fixture: call sites of the deprecated Checker.check* wrappers.
-   The alert is silenced exactly the way drifting code would silence it
-   — the lint must catch the use anyway, from the cmt attributes. *)
+(* A1 fixture: call sites of [@@ocaml.deprecated] values.
+   The deprecated wrappers live in the fixture-local [Old_api] (the
+   tree itself no longer exports any deprecated API), and the alert is
+   silenced exactly the way drifting code would silence it — the lint
+   must catch the uses anyway, from the cmt attributes. *)
 
 [@@@ocaml.alert "-deprecated"]
 
 let verdict pat =
-  let r = Rdt_core.Checker.check pat in
+  let r = Old_api.check pat in
   r.Rdt_core.Checker.rdt
 
 let verdict_chains pat =
-  let r = Rdt_core.Checker.check_chains pat in
+  let r = Old_api.check_chains pat in
   r.Rdt_core.Checker.rdt
 
 let verdict_doubling pat =
-  let r = Rdt_core.Checker.check_doubling pat in
+  let r = Old_api.check_doubling pat in
   r.Rdt_core.Checker.rdt

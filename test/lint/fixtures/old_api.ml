@@ -1,0 +1,15 @@
+(* Support module for the A1 fixture: deprecated wrappers in the style
+   of the retired [Checker.check*] compat shims.  Defining a deprecated
+   value is not a finding — only call sites are (see bad_a1.ml).  The
+   attribute must live in a separate compilation unit because the
+   compiler only records it in [val_attributes] across a module
+   boundary; a same-unit reference never sees it. *)
+
+let check pat = Rdt_core.Checker.run ~algo:`Rgraph pat
+[@@ocaml.deprecated "Use Checker.run ~algo:`Rgraph instead."]
+
+let check_chains pat = Rdt_core.Checker.run ~algo:`Chains pat
+[@@ocaml.deprecated "Use Checker.run ~algo:`Chains instead."]
+
+let check_doubling pat = Rdt_core.Checker.run ~algo:`Doubling pat
+[@@ocaml.deprecated "Use Checker.run ~algo:`Doubling instead."]

@@ -1,0 +1,12 @@
+(* The deprecation attribute must sit on the [val] declarations: the
+   compiler only carries it into [val_attributes] (where both its own
+   alert and rule A1 read it) from a signature, never from the [let]. *)
+
+val check : Rdt_pattern.Pattern.t -> Rdt_core.Checker.report
+[@@ocaml.deprecated "Use Checker.run ~algo:`Rgraph instead."]
+
+val check_chains : Rdt_pattern.Pattern.t -> Rdt_core.Checker.report
+[@@ocaml.deprecated "Use Checker.run ~algo:`Chains instead."]
+
+val check_doubling : Rdt_pattern.Pattern.t -> Rdt_core.Checker.report
+[@@ocaml.deprecated "Use Checker.run ~algo:`Doubling instead."]

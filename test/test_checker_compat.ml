@@ -1,13 +1,11 @@
-(* Pins the deprecated [Checker.check*] wrappers to [Checker.run].
+(* Pins the [Checker.run ?algo] entry point.
 
-   This file is the single A1-allowlisted call site of the deprecated
-   wrappers (see .rdtlint): everything else must use [Checker.run
-   ?algo].  Keeping the wrappers behind one pinned test means the
-   deprecation cycle cannot silently change their behaviour before
-   removal — if a wrapper ever diverges from the [run ~algo] it claims
-   to alias, this suite fails. *)
-
-[@@@ocaml.alert "-deprecated"]
+   The deprecated [check]/[check_chains]/[check_doubling] wrappers went
+   through their deprecation cycle and are gone; [run ~algo] is the one
+   way to invoke a specific checker.  This suite keeps the contract the
+   wrappers used to pin: the default algorithm is [`Rgraph], the [algo]
+   and [units] fields of the report identify what actually ran, and
+   every algorithm returns the same verdict on the same pattern. *)
 
 module Checker = Rdt_core.Checker
 module Fixtures = Rdt_test_helpers.Fixtures
@@ -16,34 +14,80 @@ module Gen = Rdt_test_helpers.Gen
 (* [seconds] is a measurement, not part of the verdict. *)
 let strip (r : Checker.report) = { r with seconds = 0. }
 
-let check_same name wrapper algo pat =
-  let a = strip (wrapper pat) and b = strip (Checker.run ~algo pat) in
-  Alcotest.(check bool)
-    (Printf.sprintf "%s = run ~algo:%s" name (Checker.algo_name algo))
-    true (a = b)
-
 let patterns () =
   let fig1 = (Fixtures.figure1 ()).Fixtures.pattern in
   let random = List.init 8 (fun i -> Gen.random_pattern ~seed:(1000 + i) ()) in
   fig1 :: Fixtures.two_crossing () :: Fixtures.zcycle_fixture ()
   :: Fixtures.pairwise_insufficient () :: Fixtures.causal_ping_pong () :: random
 
-let test_check () =
-  List.iter (check_same "check" (fun p -> Checker.check p) `Rgraph) (patterns ())
+let test_default_is_rgraph () =
+  List.iter
+    (fun pat ->
+      let d = strip (Checker.run pat) and r = strip (Checker.run ~algo:`Rgraph pat) in
+      Alcotest.(check bool) "run = run ~algo:`Rgraph" true (d = r);
+      Alcotest.(check string)
+        "default algo field" "rgraph"
+        (Checker.algo_name d.Checker.algo))
+    (patterns ())
 
-let test_check_chains () =
-  List.iter (check_same "check_chains" Checker.check_chains `Chains) (patterns ())
+let test_algo_field_matches () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun pat ->
+          let r = Checker.run ~algo pat in
+          Alcotest.(check string)
+            "report.algo names the algorithm that ran"
+            (Checker.algo_name algo)
+            (Checker.algo_name r.Checker.algo))
+        (patterns ()))
+    Checker.all_algos
 
-let test_check_doubling () =
-  List.iter (check_same "check_doubling" Checker.check_doubling `Doubling) (patterns ())
+let test_verdicts_agree () =
+  List.iter
+    (fun pat ->
+      let reports = List.map (fun algo -> Checker.run ~algo pat) Checker.all_algos in
+      match reports with
+      | [] -> Alcotest.fail "all_algos is empty"
+      | first :: rest ->
+          List.iter
+            (fun (r : Checker.report) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s agrees with %s on rdt"
+                   (Checker.algo_name r.Checker.algo)
+                   (Checker.algo_name first.Checker.algo))
+                first.Checker.rdt r.Checker.rdt)
+            rest)
+    (patterns ())
+
+let test_units_label_population () =
+  (* The unit of [checked] travels with the report so counts from
+     different populations are never cross-compared: only [`Doubling]
+     enumerates causal-message paths. *)
+  List.iter
+    (fun algo ->
+      let pat = (Fixtures.figure1 ()).Fixtures.pattern in
+      let r = Checker.run ~algo pat in
+      let expected =
+        match algo with `Doubling -> Checker.Cm_paths | _ -> Checker.R_dependencies
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s counts the right population" (Checker.algo_name algo))
+        true
+        (r.Checker.units = expected);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reports work done" (Checker.algo_name algo))
+        true (r.Checker.checked > 0))
+    Checker.all_algos
 
 let () =
   Alcotest.run "checker-compat"
     [
-      ( "deprecated wrappers alias run",
+      ( "run ~algo contract",
         [
-          Alcotest.test_case "check = run ~algo:`Rgraph" `Quick test_check;
-          Alcotest.test_case "check_chains = run ~algo:`Chains" `Quick test_check_chains;
-          Alcotest.test_case "check_doubling = run ~algo:`Doubling" `Quick test_check_doubling;
+          Alcotest.test_case "default algo is `Rgraph" `Quick test_default_is_rgraph;
+          Alcotest.test_case "report.algo matches request" `Quick test_algo_field_matches;
+          Alcotest.test_case "all algorithms agree on verdicts" `Quick test_verdicts_agree;
+          Alcotest.test_case "units label their population" `Quick test_units_label_population;
         ] );
     ]
