@@ -79,7 +79,7 @@ let run_micro ~report () =
   let grouped = Test.make_grouped ~name:"rdt" ~fmt:"%s %s" (protocol_tests @ analysis_tests) in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = Rdt_dist.Tbl.bindings_sorted ~compare:String.compare results in
   let table = Rdt_harness.Table.create ~header:[ "benchmark"; "time/run"; "r²" ] in
   List.iter
     (fun (name, ols) ->
@@ -125,10 +125,10 @@ let () =
   in
   let json = Option.value (arg_value "--json" args) ~default:"BENCH_results.json" in
   let report = Rdt_harness.Bench_report.create ~jobs in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rdt_obs.Meter.now () in
   if not micro_only then Rdt_harness.Experiments.run_all ~quick ~jobs ~report ();
   if not no_micro then run_micro ~report ();
-  Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
+  Rdt_harness.Bench_report.set_wall report (Rdt_obs.Meter.now () -. t0);
   Rdt_harness.Bench_report.record_obs report;
   Rdt_harness.Bench_report.write json report;
   Format.printf "@.wrote %s (wall %.2fs, %d cells, jobs=%d)@." json

@@ -12,21 +12,34 @@ let usage = "rdtlint [options] PATH..."
 
 let () =
   let rules = ref None in
+  let only = ref [] in
+  let skip = ref [] in
   let allowlist_file = ref None in
   let obs_prefixes = ref [] in
   let excludes = ref [] in
   let list_rules = ref false in
+  let json = ref false in
+  let strict_allowlist = ref false in
   let paths = ref [] in
+  let split s = String.split_on_char ',' s |> List.map String.trim in
   let spec =
     [
       ( "--rules",
-        Arg.String
-          (fun s ->
-            rules := Some (String.split_on_char ',' s |> List.map String.trim)),
+        Arg.String (fun s -> rules := Some (split s)),
         "IDS  comma-separated rule ids to run (default: all)" );
+      ( "--only",
+        Arg.String (fun s -> only := !only @ split s),
+        "RULE  run only this rule (repeatable, comma-separable)" );
+      ( "--skip",
+        Arg.String (fun s -> skip := !skip @ split s),
+        "RULE  drop this rule from the run (repeatable, comma-separable)" );
       ( "--allowlist",
         Arg.String (fun s -> allowlist_file := Some s),
         "FILE  allowlist file (RULE path[:LINE] per line)" );
+      ( "--strict-allowlist",
+        Arg.Set strict_allowlist,
+        " report allowlist entries that suppressed nothing as STALE findings" );
+      ("--json", Arg.Set json, " one JSON object per finding, same order as the plain output");
       ( "--obs-prefix",
         Arg.String (fun s -> obs_prefixes := s :: !obs_prefixes),
         "DIR  source-path prefix treated as observation-only by A2 (default: lib/obs/)" );
@@ -46,17 +59,31 @@ let () =
   let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("rdtlint: " ^ m); exit 2) fmt in
   let paths = List.rev !paths in
   if paths = [] then fail "no paths given (try: rdtlint lib test)";
-  let rules =
-    match !rules with
-    | None -> Rdt_lint.Rules.all
-    | Some ids ->
-        List.map
-          (fun id ->
-            match Rdt_lint.Rules.find id with
-            | Some r -> r
-            | None -> fail "unknown rule id %S (see --list-rules)" id)
-          ids
+  let resolve id =
+    match Rdt_lint.Rules.find id with
+    | Some r -> r
+    | None -> fail "unknown rule id %S (see --list-rules)" id
   in
+  let rules =
+    match !rules with None -> Rdt_lint.Rules.all | Some ids -> List.map resolve ids
+  in
+  let rules =
+    match List.map resolve !only with
+    | [] -> rules
+    | picked ->
+        List.filter
+          (fun (r : Rdt_lint.Rule.t) ->
+            List.exists (fun (o : Rdt_lint.Rule.t) -> String.equal o.id r.id) picked)
+          rules
+  in
+  let rules =
+    let dropped = List.map resolve !skip in
+    List.filter
+      (fun (r : Rdt_lint.Rule.t) ->
+        not (List.exists (fun (s : Rdt_lint.Rule.t) -> String.equal s.id r.id) dropped))
+      rules
+  in
+  if rules = [] then fail "the --only/--skip combination leaves no rule to run";
   let allowlist =
     match !allowlist_file with
     | None -> Rdt_lint.Allowlist.empty
@@ -67,14 +94,14 @@ let () =
     match !obs_prefixes with [] -> [ "lib/obs/" ] | ps -> List.rev ps
   in
   let r =
-    Rdt_lint.Driver.run ~rules ~allowlist ~obs_prefixes ~excludes:(List.rev !excludes) paths
+    Rdt_lint.Driver.run ~rules ~allowlist ~obs_prefixes ~excludes:(List.rev !excludes)
+      ~strict_allowlist:!strict_allowlist paths
   in
   List.iter (fun e -> prerr_endline ("rdtlint: " ^ e)) r.Rdt_lint.Driver.errors;
   if r.Rdt_lint.Driver.errors <> [] then exit 2;
   if r.Rdt_lint.Driver.units = 0 then
     fail "no implementation cmts found under %s (build first: dune build @all)"
       (String.concat " " paths);
-  List.iter
-    (fun f -> print_endline (Rdt_lint.Finding.to_string f))
-    r.Rdt_lint.Driver.findings;
+  let render = if !json then Rdt_lint.Finding.to_json else Rdt_lint.Finding.to_string in
+  List.iter (fun f -> print_endline (render f)) r.Rdt_lint.Driver.findings;
   if r.Rdt_lint.Driver.findings <> [] then exit 1

@@ -442,7 +442,7 @@ let table_cmd =
     let report = Rdt_harness.Bench_report.create ~jobs in
     let names = if names = [] then table_names else names in
     let module E = Rdt_harness.Experiments in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Rdt_obs.Meter.now () in
     List.iter
       (fun name ->
         let hdr title = Format.printf "@.== %s ==@." title in
@@ -500,7 +500,7 @@ let table_cmd =
             Rdt_harness.Table.print (E.table_serve ~jobs ~report ())
         | _ -> assert false)
       names;
-    Rdt_harness.Bench_report.set_wall report (Unix.gettimeofday () -. t0);
+    Rdt_harness.Bench_report.set_wall report (Rdt_obs.Meter.now () -. t0);
     write_report report json
   in
   Cmd.v
@@ -932,9 +932,9 @@ let watch_cmd =
               | None -> ());
               let skip = O.events_seen (Rdt_durable.Session.engine s) in
               let sess = Rdt_durable.Session.checker_session s in
-              let t0 = Unix.gettimeofday () in
+              let t0 = Rdt_obs.Meter.now () in
               let summary = drive_session sess events ~skip ~pace in
-              finish ~dt:(Unix.gettimeofday () -. t0) summary
+              finish ~dt:(Rdt_obs.Meter.now () -. t0) summary
             with Rdt_durable.Io.Error err ->
               Format.eprintf "rdtsim: unrecoverable durable state: %s@."
                 (Rdt_durable.Io.error_message err);
@@ -945,9 +945,9 @@ let watch_cmd =
         | Error e -> inconsistent_exit e
         | Ok n ->
             let sess = Rdt_check.Session.ephemeral ~n () in
-            let t0 = Unix.gettimeofday () in
+            let t0 = Rdt_obs.Meter.now () in
             let summary = drive_session sess events ~skip:0 ~pace in
-            finish ~dt:(Unix.gettimeofday () -. t0) summary)
+            finish ~dt:(Rdt_obs.Meter.now () -. t0) summary)
     | None, None ->
         with_trace trace ~mode:"watch" ~n ~protocol ~env ~seed (fun tr ->
             let r =
@@ -1156,7 +1156,7 @@ let feed_cmd =
           inconsistent_exit
             (Printf.sprintf "stream %s already holds %d events but the trace has only %d"
                stream resumed (List.length events));
-        let t0 = Unix.gettimeofday () in
+        let t0 = Rdt_obs.Meter.now () in
         let rec batches = function
           | [] -> ()
           | evs ->
@@ -1201,7 +1201,7 @@ let feed_cmd =
             | W.Goodbye { seen; summary; orphans } -> Some (seen, summary, orphans)
             | _ -> None)
         in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Rdt_obs.Meter.now () -. t0 in
         Client.close c;
         (match orphans with
         | [] -> ()
@@ -1363,10 +1363,10 @@ let fuzz_cmd =
           (String.concat "," space.Rdt_fuzz.Scenario.protocols)
           (String.concat "," space.Rdt_fuzz.Scenario.envs)
           max_n max_messages;
-        let t0 = Unix.gettimeofday () in
+        let t0 = Rdt_obs.Meter.now () in
         let mapper = { Rdt_fuzz.Fuzzer.map = (fun f xs -> Rdt_harness.Pool.map ~jobs f xs) } in
         let rep = Rdt_fuzz.Fuzzer.run ~mapper cfg in
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Rdt_obs.Meter.now () -. t0 in
         let c = rep.Rdt_fuzz.Fuzzer.counts in
         Format.printf
           "scenarios %d: ok %d, rdt-violations %d, checker-divergences %d, drain-failures %d, \
@@ -1442,9 +1442,9 @@ let scale_cmd =
     (match Rdt_harness.Scale.validate_params params with
     | Ok () -> ()
     | Error m -> invalid_arg ("Cli: " ^ m));
-    let t0 = Unix.gettimeofday () in
+    let t0 = Rdt_obs.Meter.now () in
     let r = Rdt_harness.Scale.run ~jobs params in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Rdt_obs.Meter.now () -. t0 in
     Format.printf "%a@." Rdt_harness.Scale.pp_result r;
     Format.eprintf "wall: %.3fs (%.0f events/s, jobs=%d)@." dt
       (float_of_int r.Rdt_harness.Scale.events /. Float.max 1e-9 dt)

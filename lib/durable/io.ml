@@ -114,3 +114,27 @@ let read_file ~name path =
           in
           go ();
           Some (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Non-durable raw-descriptor helpers.  These exist so the rest of the
+   repo never touches [Unix] file primitives directly (the S1 lint rule
+   confines them to this unit): the durable policy lives above, these
+   carry only the EINTR discipline. *)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let ftruncate ~name fd len = with_retries ~name (fun () -> Unix.ftruncate fd len)
+
+(* Socket-side reads/writes for the serve layer: EINTR retries here so
+   callers never see it; EAGAIN/EWOULDBLOCK escape untouched — on a
+   nonblocking descriptor they are the event loop's control flow, not
+   failures — and so does every other [Unix_error]. *)
+let rec recv fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv fd buf off len
+
+let rec send_substring fd s off len =
+  match Unix.write_substring fd s off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> send_substring fd s off len

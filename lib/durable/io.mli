@@ -42,3 +42,17 @@ val close_noerr : Unix.file_descr -> unit
 
 val read_file : name:string -> string -> string option
 (** Whole-file read; [None] if the file does not exist. *)
+
+val unlink_quiet : string -> unit
+(** [unlink], swallowing every [Unix_error] (ENOENT being the point). *)
+
+val ftruncate : name:string -> Unix.file_descr -> int -> unit
+(** Truncate with the bounded retry policy; used to drop a torn WAL tail. *)
+
+val recv : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** [Unix.read] retrying EINTR only.  EAGAIN/EWOULDBLOCK and every other
+    [Unix_error] escape untouched: on the serve layer's nonblocking
+    sockets they are event-loop control flow, not failures. *)
+
+val send_substring : Unix.file_descr -> string -> int -> int -> int
+(** [Unix.write_substring] with the same EINTR-only retry as {!recv}. *)

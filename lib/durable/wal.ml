@@ -183,7 +183,7 @@ let reopen ~dir ~gen:g ~valid_len =
   let p = path ~dir ~gen:g in
   let fd = Io.openfile ~name:p p [ Unix.O_WRONLY ] 0o644 in
   (try
-     Unix.ftruncate fd valid_len;
+     Io.ftruncate ~name:p fd valid_len;
      ignore (Unix.lseek fd valid_len Unix.SEEK_SET)
    with exn ->
      Io.close_noerr fd;

@@ -1,7 +1,14 @@
-type entry = { rule : string; path : string; line : int option }
-type t = entry list
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  lineno : int;  (** line of the entry in the allowlist file itself *)
+  mutable hits : int;  (** findings this entry suppressed in the current run *)
+}
 
-let empty = []
+type t = { file : string; entries : entry list }
+
+let empty = { file = ""; entries = [] }
 
 (* "RULE path[:LINE]"; '#' starts a comment; a trailing '/' on the path
    allowlists a whole directory. *)
@@ -25,7 +32,7 @@ let parse_line ~file ~lineno raw =
               | None -> (spec, None))
           | None -> (spec, None)
         in
-        Ok (Some { rule; path; line })
+        Ok (Some { rule; path; line; lineno; hits = 0 })
     | _ ->
         Error
           (Printf.sprintf "%s:%d: malformed allowlist line %S (want: RULE path[:LINE])" file
@@ -40,7 +47,7 @@ let load file =
         (fun () ->
           let rec go lineno acc =
             match input_line ic with
-            | exception End_of_file -> Ok (List.rev acc)
+            | exception End_of_file -> Ok { file; entries = List.rev acc }
             | raw -> (
                 match parse_line ~file ~lineno raw with
                 | Error _ as e -> e
@@ -50,12 +57,28 @@ let load file =
           go 1 [])
 
 let allows t ~rule ~file ~line =
-  List.exists
-    (fun e ->
-      String.equal e.rule rule
-      && (String.equal e.path file
-         || String.length e.path > 0
-            && e.path.[String.length e.path - 1] = '/'
-            && String.starts_with ~prefix:e.path file)
-      && match e.line with None -> true | Some l -> l = line)
-    t
+  match
+    List.find_opt
+      (fun e ->
+        String.equal e.rule rule
+        && (String.equal e.path file
+           || String.length e.path > 0
+              && e.path.[String.length e.path - 1] = '/'
+              && String.starts_with ~prefix:e.path file)
+        && match e.line with None -> true | Some l -> l = line)
+      t.entries
+  with
+  | Some e ->
+      e.hits <- e.hits + 1;
+      true
+  | None -> false
+
+(* Entries that suppressed nothing, restricted to the rules that
+   actually ran (an entry for a skipped rule is not stale evidence). *)
+let stale t ~rules =
+  List.filter (fun e -> e.hits = 0 && List.exists (String.equal e.rule) rules) t.entries
+
+let describe e =
+  match e.line with
+  | None -> Printf.sprintf "%s %s" e.rule e.path
+  | Some l -> Printf.sprintf "%s %s:%d" e.rule e.path l

@@ -4,12 +4,32 @@
     the workspace root, e.g. [lib/obs/meter.ml]); a trailing ['/'] makes
     it a directory prefix.  Without [:LINE] the entry covers the whole
     file.  ['#'] starts a comment.  Parsing is strict: a malformed line
-    is a configuration error, not a silently ignored one. *)
+    is a configuration error, not a silently ignored one.
 
-type t
+    Entries count the findings they suppress, so a run can report
+    entries that excuse nothing — a stale sanction outliving the code
+    it excused is itself a finding under [--strict-allowlist]. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  lineno : int;  (** line of the entry in the allowlist file itself *)
+  mutable hits : int;  (** findings this entry suppressed in the current run *)
+}
+
+type t = { file : string; entries : entry list }
 
 val empty : t
 
 val load : string -> (t, string) result
 
 val allows : t -> rule:string -> file:string -> line:int -> bool
+(** Side effect: bumps the hit count of the first matching entry. *)
+
+val stale : t -> rules:string list -> entry list
+(** Entries with zero hits whose rule id is among [rules] (entries for
+    rules that did not run are not judged). *)
+
+val describe : entry -> string
+(** The entry as it would be spelled in the file: [RULE path[:LINE]]. *)

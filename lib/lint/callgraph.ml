@@ -1,0 +1,167 @@
+(* Whole-cmt-set callgraph: every toplevel and let-bound function
+   definition, indexed so call sites can be resolved across units.
+
+   Two indexes:
+   - by ident stamp, scoped to the defining unit — [Ident] stamps are
+     only unique within one compilation, so the key is
+     ["source|unique_name"]; same-unit references always resolve
+     through [Path.Pident], nested lets included;
+   - by source-level dotted name ("Io.openfile", "Session.Frame.next")
+     — cross-unit references arrive as [Path.Pdot] spellings which
+     [Scan.normalize_path] reduces to the same form modulo a leading
+     wrapper-module prefix, which [resolve] strips component by
+     component.  A dotted name defined by two different units is
+     ambiguous and resolves to nothing rather than to either. *)
+
+type def = {
+  id : string;  (** ["source|unique_name"] — unique across the whole cmt set *)
+  name : string;  (** display name: dotted for toplevel defs, bare for nested lets *)
+  params : Ident.t list;  (** curried value parameters, outermost first *)
+  bodies : Typedtree.expression list;  (** the body (bodies, for [function]-style defs) *)
+  fn : Typedtree.expression;  (** the whole function expression *)
+  loc : Location.t;
+  source : string;  (** source path of the defining unit *)
+}
+
+type t = {
+  by_uid : (string, def) Hashtbl.t;
+  by_name : (string, def) Hashtbl.t;
+  ambiguous : (string, unit) Hashtbl.t;
+  mutable defs : def list;  (** registration order, reversed — see [defs] *)
+}
+
+let uid_key ~source id = source ^ "|" ^ Ident.unique_name id
+
+let peel_params fn =
+  let rec go acc (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { param; cases = [ { c_guard = None; c_rhs; _ } ]; _ } ->
+        go (param :: acc) c_rhs
+    | Texp_function { param; cases; _ } ->
+        (List.rev (param :: acc), List.map (fun c -> c.Typedtree.c_rhs) cases)
+    | _ -> (List.rev acc, [ e ])
+  in
+  go [] fn
+
+let is_function (e : Typedtree.expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+let module_name_of_source source =
+  Filename.basename source |> Filename.remove_extension |> String.capitalize_ascii
+
+let add t ~prefix ~source (vb : Typedtree.value_binding) =
+  match vb.vb_pat.pat_desc with
+  | Tpat_var (id, _) when is_function vb.vb_expr ->
+      let params, bodies = peel_params vb.vb_expr in
+      let name =
+        match prefix with
+        | Some m -> m ^ "." ^ Ident.name id
+        | None -> Ident.name id
+      in
+      let d =
+        {
+          id = uid_key ~source id;
+          name;
+          params;
+          bodies;
+          fn = vb.vb_expr;
+          loc = vb.vb_loc;
+          source;
+        }
+      in
+      if not (Hashtbl.mem t.by_uid d.id) then t.defs <- d :: t.defs;
+      Hashtbl.replace t.by_uid d.id d;
+      if prefix <> None then
+        if Hashtbl.mem t.by_name name || Hashtbl.mem t.ambiguous name then begin
+          Hashtbl.remove t.by_name name;
+          Hashtbl.replace t.ambiguous name ()
+        end
+        else Hashtbl.replace t.by_name name d
+  | _ -> ()
+
+(* Toplevel defs of a structure, recursing into named submodules so
+   "Mod.Sub.fn" is indexed under its source-level spelling. *)
+let rec add_structure_items t ~prefix ~source (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) -> List.iter (add t ~prefix:(Some prefix) ~source) vbs
+      | Tstr_module mb -> add_module_binding t ~prefix ~source mb
+      | Tstr_recmodule mbs -> List.iter (add_module_binding t ~prefix ~source) mbs
+      | _ -> ())
+    str.str_items
+
+and add_module_binding t ~prefix ~source (mb : Typedtree.module_binding) =
+  match mb.mb_id with
+  | None -> ()
+  | Some mid ->
+      let rec strip (me : Typedtree.module_expr) =
+        match me.mod_desc with
+        | Tmod_structure s -> Some s
+        | Tmod_constraint (me', _, _, _) -> strip me'
+        | _ -> None
+      in
+      (match strip mb.mb_expr with
+      | Some s -> add_structure_items t ~prefix:(prefix ^ "." ^ Ident.name mid) ~source s
+      | None -> ())
+
+(* Nested [let f = fun ... in] defs anywhere in the unit, indexed by
+   stamp only (their dotted spelling is not addressable). *)
+let add_nested t ~source (str : Typedtree.structure) =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.Typedtree.exp_desc with
+          | Texp_let (_, vbs, _) -> List.iter (add t ~prefix:None ~source) vbs
+          | _ -> ());
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.structure it str
+
+let build units =
+  let t =
+    {
+      by_uid = Hashtbl.create 512;
+      by_name = Hashtbl.create 512;
+      ambiguous = Hashtbl.create 8;
+      defs = [];
+    }
+  in
+  List.iter
+    (fun (source, str) ->
+      add_structure_items t ~prefix:(module_name_of_source source) ~source str;
+      add_nested t ~source str)
+    units;
+  t
+
+(* All defs, in registration order: unit by unit (the driver loads
+   units in sorted-cmt-path order), toplevel before nested within a
+   unit — deterministic without touching hash-table iteration order. *)
+let defs t = List.rev t.defs
+
+let mem_uid t ~source id = Hashtbl.mem t.by_uid (uid_key ~source id)
+
+(* "Rdt_durable.Io.openfile" and "Io.openfile" must hit the same def:
+   drop leading components until the lookup lands (or nothing is left). *)
+let resolve_name t name =
+  let rec go name =
+    match Hashtbl.find_opt t.by_name name with
+    | Some d -> Some d
+    | None -> (
+        match String.index_opt name '.' with
+        | Some i -> go (String.sub name (i + 1) (String.length name - i - 1))
+        | None -> None)
+  in
+  go name
+
+(* [source] is the unit the reference occurs in: a [Pident] can only
+   name a binder of the same compilation unit. *)
+let resolve t ~source (p : Path.t) =
+  match p with
+  | Path.Pident id -> Hashtbl.find_opt t.by_uid (uid_key ~source id)
+  | _ -> resolve_name t (Scan.normalize_path p)
+
+let defs_in t ~source = List.filter (fun d -> String.equal d.source source) (defs t)

@@ -4,37 +4,66 @@ type result = {
   units : int;  (** implementation units actually linted *)
 }
 
+let stale_rule = "STALE"
+
 let run ?(rules = Rules.all) ?(allowlist = Allowlist.empty) ?(obs_prefixes = [ "lib/obs/" ])
-    ?(excludes = []) paths =
+    ?(excludes = []) ?(strict_allowlist = false) paths =
   let cmts = Loader.find_cmts ~excludes paths in
-  let findings = ref [] in
   let errors = ref [] in
-  let units = ref 0 in
+  (* pass 1: load every unit, so the callgraph spans the whole cmt set *)
+  let units =
+    List.filter_map
+      (fun cmt ->
+        match Loader.load cmt with
+        | Error e ->
+            errors := e :: !errors;
+            None
+        | Ok None -> None
+        | Ok (Some u) ->
+            if Loader.excluded ~excludes u.Loader.source then None else Some u)
+      cmts
+  in
+  let graph =
+    Callgraph.build (List.map (fun u -> (u.Loader.source, u.Loader.structure)) units)
+  in
+  let env = Summary.analyze graph in
+  (* pass 2: the per-unit rule sweep *)
+  let findings = ref [] in
   List.iter
-    (fun cmt ->
-      match Loader.load cmt with
-      | Error e -> errors := e :: !errors
-      | Ok None -> ()
-      | Ok (Some u) ->
-          if not (Loader.excluded ~excludes u.Loader.source) then begin
-            incr units;
-            let report ~rule ~loc msg =
-              let f = Finding.of_loc ~rule ~loc msg in
-              (* ghost locations have no file; anchor them to the unit *)
-              let f =
-                if f.Finding.file = "" || f.Finding.file = "_none_" then
-                  { f with Finding.file = u.Loader.source }
-                else f
-              in
-              if not (Allowlist.allows allowlist ~rule ~file:f.Finding.file ~line:f.Finding.line)
-              then findings := f :: !findings
-            in
-            let ctx = { Rule.file = u.Loader.source; obs_prefixes; report } in
-            List.iter (fun (r : Rule.t) -> r.Rule.check ctx u.Loader.structure) rules
-          end)
-    cmts;
+    (fun (u : Loader.unit_info) ->
+      let report ~rule ~loc msg =
+        let f = Finding.of_loc ~rule ~loc msg in
+        (* ghost locations have no file; anchor them to the unit *)
+        let f =
+          if f.Finding.file = "" || f.Finding.file = "_none_" then
+            { f with Finding.file = u.Loader.source }
+          else f
+        in
+        if not (Allowlist.allows allowlist ~rule ~file:f.Finding.file ~line:f.Finding.line)
+        then findings := f :: !findings
+      in
+      let ctx = { Rule.file = u.Loader.source; obs_prefixes; env; report } in
+      List.iter (fun (r : Rule.t) -> r.Rule.check ctx u.Loader.structure) rules)
+    units;
+  if strict_allowlist then
+    List.iter
+      (fun (e : Allowlist.entry) ->
+        findings :=
+          {
+            Finding.file = allowlist.Allowlist.file;
+            line = e.Allowlist.lineno;
+            col = 0;
+            rule = stale_rule;
+            msg =
+              Printf.sprintf
+                "allowlist entry '%s' suppressed no finding in this run; the code it excused \
+                 is gone — remove the entry"
+                (Allowlist.describe e);
+          }
+          :: !findings)
+      (Allowlist.stale allowlist ~rules:(List.map (fun (r : Rule.t) -> r.Rule.id) rules));
   {
     findings = List.sort_uniq Finding.compare !findings;
     errors = List.rev !errors;
-    units = !units;
+    units = List.length units;
   }

@@ -20,3 +20,24 @@ let compare a b =
   String.compare a.rule b.rule <?> fun () -> String.compare a.msg b.msg
 
 let to_string f = Printf.sprintf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.msg
+
+(* Minimal JSON string escaping: quote, backslash, and control
+   characters; everything else (including UTF-8 bytes) passes through. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"file":"%s","line":%d,"col":%d,"rule":"%s","msg":"%s"}|}
+    (json_escape f.file) f.line f.col (json_escape f.rule) (json_escape f.msg)

@@ -10,3 +10,10 @@ val compare : t -> t -> int
     order of the driver and of the fixture expect tests. *)
 
 val to_string : t -> string
+
+val to_json : t -> string
+(** One JSON object on one line:
+    [{"file":...,"line":N,"col":N,"rule":...,"msg":...}], fields always
+    in that order.  The driver emits findings in [compare] order for
+    both renderings, so the JSON stream round-trips to the plain one
+    record for record. *)

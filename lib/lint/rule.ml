@@ -1,6 +1,7 @@
 type ctx = {
   file : string;  (** source path of the unit being linted *)
   obs_prefixes : string list;  (** source prefixes subject to the A2 purity rule *)
+  env : Summary.env;  (** whole-repo callgraph + function summaries (R2/S1/L1) *)
   report : rule:string -> loc:Location.t -> string -> unit;
 }
 

@@ -1,0 +1,199 @@
+(* L1 — fd lifecycle.
+
+   A function that acquires a raw file descriptor (Unix.openfile /
+   socket / accept, Io.openfile, or any callee whose summary acquires)
+   must do one of three things with it: release it (Unix.close /
+   Io.close_noerr / a callee whose summary releases that parameter —
+   [Fun.protect ~finally] works out of the box because the release
+   inside the finally closure is an ordinary occurrence), return it
+   (any tail position of any enclosing function counts, so
+   [with_retries (fun () -> Unix.openfile ...)] is a return), or store
+   it / hand it off (a record field, a constructor, an argument to a
+   function the analysis cannot prove harmless — all conservatively
+   silent).
+
+   What is flagged:
+   - an acquired descriptor that is discarded on the spot (sequence
+     position, [ignore], or a binding pattern that drops it);
+   - a bound descriptor whose every occurrence is a known pure fd
+     operation (read/write/lseek/...) with no release, no tail return,
+     and no escape: that is a leak on every call, which a long-running
+     [rdtsim serve] daemon turns from cosmetic into an outage. *)
+
+(* fd operations that neither release nor retain their descriptor *)
+let neutral_ops =
+  [
+    "Unix.read";
+    "Unix.write";
+    "Unix.write_substring";
+    "Unix.single_write";
+    "Unix.fsync";
+    "Unix.ftruncate";
+    "Unix.lseek";
+    "Unix.set_nonblock";
+    "Unix.clear_nonblock";
+    "Unix.listen";
+    "Unix.bind";
+    "Unix.getsockname";
+    "Unix.getpeername";
+    "Unix.setsockopt";
+    "Unix.shutdown";
+    "Io.read";
+    "Io.write_all";
+    "Io.fsync";
+    "Io.ftruncate";
+    "Io.recv";
+    "Io.send_substring";
+  ]
+
+let fd_type ty = Scan.type_mentions ~targets:[ "Unix.file_descr" ] ty <> None
+
+let span (e : Typedtree.expression) =
+  (e.exp_loc.loc_start.pos_cnum, e.exp_loc.loc_end.pos_cnum)
+
+(* All [Tpat_var]/[Tpat_alias] binders with their types. *)
+let pat_idents p0 =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      pat =
+        (fun (type k) it (q : k Typedtree.general_pattern) ->
+          (match q.pat_desc with
+          | Typedtree.Tpat_var (id, _) -> acc := (id, q.pat_type) :: !acc
+          | Typedtree.Tpat_alias (_, id, _) -> acc := (id, q.pat_type) :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.pat it q);
+    }
+  in
+  it.pat it p0;
+  !acc
+
+type apply = { cname : string; cpath : Path.t; args : Typedtree.expression list }
+
+let analyze_def (ctx : Rule.ctx) (def : Callgraph.def) =
+  let env = ctx.env in
+  let graph = env.Summary.graph in
+  let source = def.source in
+  (* --- collect roles within the def's own code ------------------- *)
+  let applies = ref [] in
+  let bound = Hashtbl.create 16 (* span of bound expr -> binder idents * types *) in
+  let arg_of = Hashtbl.create 64 (* span of expr -> head cname of the consuming apply *) in
+  let seqpos = Hashtbl.create 16 (* span of expr -> () : value discarded by sequencing *) in
+  let tails = Hashtbl.create 32 (* span of expr -> () : tail of some enclosing function *) in
+  let rec mark_tails (e : Typedtree.expression) =
+    Hashtbl.replace tails (span e) ();
+    match e.exp_desc with
+    | Texp_let (_, _, b) -> mark_tails b
+    | Texp_sequence (_, b) -> mark_tails b
+    | Texp_ifthenelse (_, t, f) ->
+        mark_tails t;
+        Option.iter mark_tails f
+    | Texp_match (_, cases, _) -> List.iter (fun c -> mark_tails c.Typedtree.c_rhs) cases
+    | Texp_try (b, cases) ->
+        mark_tails b;
+        List.iter (fun c -> mark_tails c.Typedtree.c_rhs) cases
+    | _ -> ()
+  in
+  Summary.iter_own graph ~source def.fn (fun e ->
+      match e.Typedtree.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, raw_args) ->
+          let args = List.filter_map (fun (_, a) -> a) raw_args in
+          let cname = Scan.normalize_path p in
+          applies := { cname; cpath = p; args } :: !applies;
+          List.iter (fun a -> Hashtbl.replace arg_of (span a) cname) args
+      | Texp_let (_, vbs, _) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              Hashtbl.replace bound (span vb.vb_expr) (pat_idents vb.vb_pat))
+            vbs
+      | Texp_match (scrut, cases, _) ->
+          Hashtbl.replace bound (span scrut)
+            (List.concat_map (fun c -> pat_idents c.Typedtree.c_lhs) cases)
+      | Texp_sequence (a, _) -> Hashtbl.replace seqpos (span a) ()
+      | Texp_function { cases; _ } -> List.iter (fun c -> mark_tails c.Typedtree.c_rhs) cases
+      | _ -> ());
+  List.iter (fun b -> mark_tails b) def.bodies;
+  let applies = !applies in
+  (* --- occurrence analysis for one acquired descriptor ----------- *)
+  let leaks id =
+    let uid = Ident.unique_name id in
+    let is_x (a : Typedtree.expression) =
+      match a.exp_desc with
+      | Texp_ident (Path.Pident i, _, _) -> String.equal (Ident.unique_name i) uid
+      | _ -> false
+    in
+    let released = ref false in
+    let escaped = ref false in
+    let handled = Hashtbl.create 8 (* spans of occurrences accounted for *) in
+    List.iter
+      (fun ap ->
+        let rel = Summary.call_releases env ~source ~cname:ap.cname ap.cpath in
+        List.iteri
+          (fun i a ->
+            if is_x a then begin
+              Hashtbl.replace handled (span a) ();
+              if List.mem i rel then released := true
+              else if not (Scan.matches_any ap.cname neutral_ops) then escaped := true
+            end)
+          ap.args)
+      applies;
+    Summary.iter_own graph ~source def.fn (fun e ->
+        if is_x e then
+          if Hashtbl.mem tails (span e) then escaped := true
+          else if not (Hashtbl.mem handled (span e)) then escaped := true);
+    (not !released) && not !escaped
+  in
+  (* --- classify each acquire site -------------------------------- *)
+  Summary.iter_own graph ~source def.fn (fun e ->
+      match e.Typedtree.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+        when Summary.call_acquires env ~source ~cname:(Scan.normalize_path p) p
+             && (not (Scan.type_has_arrow e.exp_type))
+             && fd_type e.exp_type -> (
+          let s = span e in
+          let report msg = ctx.report ~rule:"L1" ~loc:e.exp_loc msg in
+          match Hashtbl.find_opt bound s with
+          | Some binders -> (
+              match List.filter (fun (_, ty) -> fd_type ty) binders with
+              | [] ->
+                  report
+                    "the file descriptor acquired here is dropped by the binding pattern \
+                     without being closed; bind it and release it on every path"
+              | fds ->
+                  List.iter
+                    (fun (id, _) ->
+                      if leaks id then
+                        report
+                          (Printf.sprintf
+                             "file descriptor '%s' is neither closed on any path, returned, \
+                              nor stored: it leaks on every call; release it (e.g. \
+                              Fun.protect ~finally with Io.close_noerr)"
+                             (Ident.name id)))
+                    fds)
+          | None ->
+              if Hashtbl.mem tails s then ()
+              else if Hashtbl.mem seqpos s then
+                report
+                  "the file descriptor acquired here is discarded by the sequence without \
+                   being closed; bind it and release it on every path"
+              else (
+                match Hashtbl.find_opt arg_of s with
+                | Some "ignore" ->
+                    report
+                      "the file descriptor acquired here is ignored without being closed; \
+                       bind it and release it on every path"
+                | Some _ | None -> ()))
+      | _ -> ())
+
+let check (ctx : Rule.ctx) _structure =
+  List.iter (analyze_def ctx) (Callgraph.defs_in ctx.env.Summary.graph ~source:ctx.file)
+
+let rule =
+  {
+    Rule.id = "L1";
+    doc =
+      "fd lifecycle: an acquired file descriptor must be released on all paths, returned, or \
+       stored (summary-based; Fun.protect recognized)";
+    check;
+  }

@@ -1,68 +1,39 @@
-(* R1 — Domain-pool race heuristic.
+(* R1 — Domain-pool race heuristic (the fast syntactic core).
 
    For every syntactic closure passed to Pool.map / Pool.map_timed /
    Domain.spawn, flag writes (:=, incr, decr, setfield, Array/Bytes set,
-   Hashtbl/Queue/Stack/Buffer mutation) whose target is captured from
-   outside the closure.  Pool tasks must be self-contained: shared
-   mutable state under a domain pool is a data race unless it goes
-   through Atomic/Mutex — Atomic accesses use their own functions and
-   are therefore never flagged.
+   Hashtbl/Queue/Stack/Buffer mutation — the vocabulary lives in
+   [Writes]) whose target is captured from outside the closure.  Pool
+   tasks must be self-contained: shared mutable state under a domain
+   pool is a data race unless it goes through Atomic/Mutex — Atomic
+   accesses use their own functions and are therefore never flagged.
 
-   Known false negatives (documented in DESIGN.md): closures passed as
-   idents rather than literal fun-expressions, mutation hidden behind a
-   function call inside the closure, and Mutex-guarded writes (no
-   allowance is attempted: guard-by-mutex sites should be allowlisted
-   explicitly, which keeps them visible). *)
+   R1's two documented false negatives — closures passed as idents
+   rather than literal fun-expressions, and mutation hidden behind a
+   function call inside the closure — are covered interprocedurally by
+   R2 on top of the callgraph summaries.  Mutex-guarded writes remain
+   out of scope for both (no allowance is attempted: guard-by-mutex
+   sites should be allowlisted explicitly, which keeps them visible). *)
 
 let prims = [ "Pool.map"; "Pool.map_timed"; "Domain.spawn" ]
-let ref_ops = [ ":="; "incr"; "decr" ]
 
-let struct_ops =
-  [
-    "Array.set";
-    "Array.unsafe_set";
-    "Array.fill";
-    "Array.blit";
-    "Bytes.set";
-    "Bytes.unsafe_set";
-    "Hashtbl.add";
-    "Hashtbl.replace";
-    "Hashtbl.remove";
-    "Hashtbl.reset";
-    "Hashtbl.clear";
-    "Queue.add";
-    "Queue.push";
-    "Queue.pop";
-    "Queue.take";
-    "Stack.push";
-    "Stack.pop";
-    "Buffer.add_string";
-    "Buffer.add_char";
-    "Buffer.add_bytes";
-    "Buffer.clear";
-  ]
+type root = Local | Captured of string
 
-let getters = [ "Array.get"; "Array.unsafe_get"; "!" ]
-
-type root = Local | Captured of string | Unknown
-
-let rec root_of locals (e : Typedtree.expression) =
-  match e.exp_desc with
-  | Texp_ident (Path.Pident id, _, _) ->
-      if List.exists (Ident.same id) locals then Local else Captured (Ident.name id)
-  | Texp_ident (p, _, _) -> Captured (Scan.normalize_path p)
-  | Texp_field (e', _, _) -> root_of locals e'
-  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, (_, Some a) :: _)
-    when Scan.matches_any (Scan.normalize_path p) getters ->
-      root_of locals a
-  | _ -> Unknown
+let root_of locals e =
+  let classify id =
+    if List.exists (Ident.same id) locals then Local else Captured (Ident.name id)
+  in
+  match Writes.root_of ~classify e with
+  | Writes.Id r -> Some r
+  | Writes.Global name -> Some (Captured name)
+  | Writes.Unknown -> None
 
 let analyze_closure (ctx : Rule.ctx) ~prim closure =
   let locals = Scan.bound_idents_in closure in
   let flag loc what target =
     match target with
-    | Local | Unknown -> ()
-    | Captured name ->
+    | None | Some Local -> ()
+    | Some (Captured name) ->
         ctx.report ~rule:"R1" ~loc
           (Printf.sprintf
              "%s '%s' captured by a closure passed to %s: a data race under the domain pool; \
@@ -70,21 +41,9 @@ let analyze_closure (ctx : Rule.ctx) ~prim closure =
              what name prim)
   in
   Scan.iter_expressions_in_expr closure (fun e ->
-      match e.Typedtree.exp_desc with
-      | Typedtree.Texp_setfield (tgt, _, ld, _) ->
-          flag e.exp_loc
-            (Printf.sprintf "mutable field '%s' of a value" ld.Types.lbl_name)
-            (root_of locals tgt)
-      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, (_, Some a0) :: _) ->
-          let n = Scan.normalize_path p in
-          if List.exists (String.equal n) ref_ops then
-            flag e.exp_loc (Printf.sprintf "ref cell (%s)" n) (root_of locals a0)
-          else (
-            match Scan.find_target n struct_ops with
-            | Some t ->
-                flag e.exp_loc (Printf.sprintf "mutable structure (%s)" t) (root_of locals a0)
-            | None -> ())
-      | _ -> ())
+      match Writes.write_of e with
+      | Some (what, tgt) -> flag e.Typedtree.exp_loc what (root_of locals tgt)
+      | None -> ())
 
 let check (ctx : Rule.ctx) structure =
   Scan.iter_expressions structure (fun e ->

@@ -1,0 +1,98 @@
+(* R2 — interprocedural domain-pool races, on top of [Summary].
+
+   R1 only sees writes that appear literally inside a closure argument.
+   R2 closes its two documented false negatives at the same anchor
+   points (arguments of Pool.map / Pool.map_timed / Domain.spawn):
+
+   - a task passed as an ident ([Pool.map worker rows]): if [worker]'s
+     summary says it writes captured or module-global mutable state,
+     the reference is flagged;
+   - mutation hidden behind a call ([Pool.map (fun r -> bump total r)]):
+     any function referenced inside the argument whose summary writes
+     captured state is flagged, and calls to functions that write
+     *through a parameter* are flagged when the actual argument is
+     captured from outside the task.
+
+   Witnesses whose root is bound inside the argument expression are
+   task-local state and stay silent, so [let t = ref 0 in bump t] in a
+   task never fires.  R1 and R2 are disjoint by construction: R1 flags
+   direct writes at the write site, R2 only effects reached through a
+   resolved identifier. *)
+
+let prims = Rule_r1.prims
+
+let chain (g : Summary.fn) (w : Summary.witness) =
+  match w.via with
+  | [] -> Printf.sprintf "'%s'" g.def.name
+  | via -> Printf.sprintf "'%s' (via %s)" g.def.name (String.concat " -> " via)
+
+let analyze_arg (ctx : Rule.ctx) ~prim arg =
+  let bound = Scan.bound_idents_in arg in
+  let is_local uid =
+    List.exists (fun id -> String.equal (Ident.unique_name id) uid) bound
+  in
+  let classify id = if List.exists (Ident.same id) bound then None else Some (Ident.name id) in
+  Scan.iter_expressions_in_expr arg (fun e ->
+      match e.Typedtree.exp_desc with
+      | Texp_ident (p, _, _) -> (
+          match Summary.resolve_fn ctx.env ~source:ctx.file p with
+          | None -> ()
+          | Some g ->
+              List.iter
+                (fun (w : Summary.witness) ->
+                  let local =
+                    match w.target with Summary.V (uid, _) -> is_local uid | Summary.G _ -> false
+                  in
+                  if not local then
+                    ctx.report ~rule:"R2" ~loc:e.exp_loc
+                      (Printf.sprintf
+                         "%s '%s' is written by %s, which this task passed to %s reaches: a \
+                          data race under the domain pool; use Atomic, or make the state \
+                          task-local"
+                         w.what
+                         (Summary.target_display w.target)
+                         (chain g w) prim))
+                g.captured)
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+          match Summary.resolve_fn ctx.env ~source:ctx.file p with
+          | None -> ()
+          | Some g ->
+              let present = List.filter_map (fun (_, a) -> a) args in
+              List.iter
+                (fun (i, what) ->
+                  match List.nth_opt present i with
+                  | None -> ()
+                  | Some a -> (
+                      match Writes.root_of ~classify a with
+                      | Writes.Id (Some name) | Writes.Global name ->
+                          ctx.report ~rule:"R2" ~loc:e.exp_loc
+                            (Printf.sprintf
+                               "%s '%s' is written through the call to '%s' in a task passed \
+                                to %s: a data race under the domain pool; use Atomic, or make \
+                                the state task-local"
+                               what name g.def.name prim)
+                      | Writes.Id None | Writes.Unknown -> ()))
+                g.param_writes)
+      | _ -> ())
+
+let check (ctx : Rule.ctx) structure =
+  Scan.iter_expressions structure (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+        when Scan.matches_any (Scan.normalize_path p) prims ->
+          List.iter
+            (fun (_, arg) ->
+              match arg with
+              | Some a -> analyze_arg ctx ~prim:(Scan.normalize_path p) a
+              | None -> ())
+            args
+      | _ -> ())
+
+let rule =
+  {
+    Rule.id = "R2";
+    doc =
+      "interprocedural pool races: tasks passed as idents, and captured-state writes hidden \
+       behind calls (callgraph summaries)";
+    check;
+  }

@@ -1,0 +1,67 @@
+(* S1 — syscall discipline.
+
+   The durable layer's crash-safety story (PR 6's crash matrix) is
+   proved for Rdt_durable.Io: EINTR/EAGAIN-bounded retries, fsync
+   ordering, atomic rename.  A raw file syscall anywhere else silently
+   bypasses all of it, so raw Unix file ops are banned outside
+   lib/durable/io.ml itself.
+
+   Socket acquisition (socket/accept/connect) is a resource decision,
+   not an I/O convenience: every such call site must be a sanctioned
+   acquire site, named by a line-precise .rdtlint entry — today the
+   server's listener, its accept loop, and the client dialer in
+   lib/serve.  Flagging the call unconditionally and forcing the
+   allowlist entry keeps the inventory of socket-creating code exact.
+
+   Any reference to a banned function counts, applied or not: passing
+   [Unix.read] to a combinator smuggles the syscall just as well. *)
+
+let file_ops =
+  [
+    "Unix.openfile";
+    "Unix.rename";
+    "Unix.ftruncate";
+    "Unix.unlink";
+    "Unix.fsync";
+    "Unix.read";
+    "Unix.write";
+    "Unix.write_substring";
+    "Unix.single_write";
+    "Unix.close";
+  ]
+
+let socket_ops = [ "Unix.socket"; "Unix.accept"; "Unix.connect" ]
+let sanctioned_unit = "lib/durable/io.ml"
+
+let check (ctx : Rule.ctx) structure =
+  Scan.iter_expressions structure (fun e ->
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_ident (p, _, _) -> (
+          let n = Scan.normalize_path p in
+          match Scan.find_target n file_ops with
+          | Some t ->
+              if not (String.equal ctx.file sanctioned_unit) then
+                ctx.report ~rule:"S1" ~loc:e.exp_loc
+                  (Printf.sprintf
+                     "raw %s bypasses the durable I/O discipline (bounded EINTR/EAGAIN \
+                      retries, fsync ordering, atomic rename); go through Rdt_durable.Io"
+                     t)
+          | None -> (
+              match Scan.find_target n socket_ops with
+              | Some t ->
+                  ctx.report ~rule:"S1" ~loc:e.exp_loc
+                    (Printf.sprintf
+                       "raw %s outside a sanctioned acquire site; socket creation is confined \
+                        to the line-precise .rdtlint entries in lib/serve"
+                       t)
+              | None -> ()))
+      | _ -> ())
+
+let rule =
+  {
+    Rule.id = "S1";
+    doc =
+      "syscall discipline: raw Unix file ops only inside lib/durable/io.ml; socket/accept/\
+       connect only at allowlisted acquire sites";
+    check;
+  }

@@ -1,0 +1,353 @@
+(* Bottom-up interprocedural function summaries.
+
+   Every definition in the [Callgraph] gets a summary computed by a
+   fixpoint over the condensation of the call relation: Tarjan's SCC
+   algorithm emits components callees-first, and each component is
+   iterated until its summaries stop growing (mutual recursion
+   converges because witness sets are deduplicated and capped).
+
+   A summary says, per function:
+   - [captured]: writes to mutable state the function does not own —
+     state captured from an enclosing scope or module-global — each
+     with the call chain ([via]) it was discovered through;
+   - [param_writes]: parameter indices the function writes through
+     (so callers can translate the effect into their own scope);
+   - [acquires]: the function returns a raw [Unix.file_descr] it
+     opened ([Unix.openfile]/[socket]/[accept] or an acquiring callee);
+   - [releases]: parameter indices the function may close.
+
+   Precision notes (mirrored in DESIGN.md): argument-to-parameter
+   mapping is positional over the arguments present at the call site,
+   so labeled arguments passed out of definition order can mis-map;
+   functions reached only through higher-order escapes (stored in a
+   record, passed to [List.iter]) contribute nothing; destructured
+   parameters ([fun (a, b) ->]) classify as locals, not parameters.
+
+   [Meter.*] callees are blessed: the metering registry is the one
+   module-global the repo sanctions for concurrent use (atomics plus a
+   spin-locked create path, per its header), so calls into it never
+   produce witnesses — the interprocedural analogue of R1 never
+   flagging [Atomic.*]. *)
+
+type target = G of string  (** module-level value, normalized path *)
+            | V of string * string  (** enclosing-scope ident: unique name, display name *)
+
+let target_key = function G s -> "G " ^ s | V (u, _) -> "V " ^ u
+let target_display = function G s -> s | V (_, d) -> d
+
+type witness = {
+  what : string;  (** kind of write, display text from [Writes.write_of] *)
+  target : target;
+  via : string list;  (** call chain below this function, nearest callee first *)
+}
+
+type cls = P of int | L | C of Ident.t
+
+type call = { cname : string; cpath : Path.t; cargs : Typedtree.expression list }
+
+type fn = {
+  def : Callgraph.def;
+  param_uids : string array;
+  classify : Ident.t -> cls;
+  local_uid : string -> bool;  (** ident (by unique name) is bound inside this def *)
+  calls : call list;
+  returns_fd : bool;
+  mutable captured : witness list;
+  mutable param_writes : (int * string) list;
+  mutable acquires : bool;
+  mutable releases : int list;
+}
+
+type env = { graph : Callgraph.t; fns : (string, fn) Hashtbl.t }
+
+let blessed cname = List.mem "Meter" (String.split_on_char '.' cname)
+
+let acquire_prims = [ "Unix.openfile"; "Unix.socket"; "Unix.accept"; "Io.openfile" ]
+let release_prims = [ "Unix.close"; "Io.close_noerr" ]
+
+let max_witnesses = 8
+let max_via = 3
+
+(* Walk a definition's own code: everything under [fn] except the
+   bodies of nested let-bound function definitions, which have
+   summaries of their own and contribute through call edges only. *)
+let iter_own graph ~source fn_expr f =
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          match vb.Typedtree.vb_pat.pat_desc with
+          | Tpat_var (id, _)
+            when Callgraph.is_function vb.vb_expr && Callgraph.mem_uid graph ~source id ->
+              ()
+          | _ -> Tast_iterator.default_iterator.value_binding it vb);
+      expr =
+        (fun it e ->
+          f e;
+          Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it fn_expr
+
+let add_witness f w =
+  if List.length f.captured >= max_witnesses then false
+  else if
+    List.exists
+      (fun w' -> String.equal (target_key w'.target) (target_key w.target))
+      f.captured
+  then false
+  else begin
+    f.captured <- f.captured @ [ w ];
+    true
+  end
+
+let add_param_write f i what =
+  if List.mem_assoc i f.param_writes then false
+  else begin
+    f.param_writes <- (i, what) :: f.param_writes;
+    true
+  end
+
+let add_release f i =
+  if List.mem i f.releases then false
+  else begin
+    f.releases <- i :: f.releases;
+    true
+  end
+
+let param_index f uid =
+  let n = Array.length f.param_uids in
+  let rec go i = if i >= n then None else if String.equal f.param_uids.(i) uid then Some i else go (i + 1) in
+  go 0
+
+let push_via name via =
+  let v = name :: via in
+  if List.length v > max_via then List.filteri (fun i _ -> i < max_via) v else v
+
+let fn_of graph (def : Callgraph.def) =
+  let locals = Hashtbl.create 32 in
+  List.iter
+    (fun id -> Hashtbl.replace locals (Ident.unique_name id) ())
+    (Scan.bound_idents_in def.fn);
+  let param_uids = Array.of_list (List.map Ident.unique_name def.params) in
+  let pindex uid =
+    let n = Array.length param_uids in
+    let rec go i = if i >= n then None else if String.equal param_uids.(i) uid then Some i else go (i + 1) in
+    go 0
+  in
+  let classify id =
+    let uid = Ident.unique_name id in
+    match pindex uid with
+    | Some i -> P i
+    | None -> if Hashtbl.mem locals uid then L else C id
+  in
+  let calls = ref [] in
+  iter_own graph ~source:def.source def.fn (fun e ->
+      match e.Typedtree.exp_desc with
+      | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
+          calls :=
+            {
+              cname = Scan.normalize_path p;
+              cpath = p;
+              cargs = List.filter_map (fun (_, a) -> a) args;
+            }
+            :: !calls
+      | _ -> ());
+  let returns_fd =
+    List.exists
+      (fun (b : Typedtree.expression) ->
+        Scan.type_mentions ~targets:[ "Unix.file_descr" ] b.exp_type <> None)
+      def.bodies
+  in
+  let f =
+    {
+      def;
+      param_uids;
+      classify;
+      local_uid = (fun uid -> Hashtbl.mem locals uid);
+      calls = List.rev !calls;
+      returns_fd;
+      captured = [];
+      param_writes = [];
+      acquires = false;
+      releases = [];
+    }
+  in
+  (* direct writes *)
+  iter_own graph ~source:def.source def.fn (fun e ->
+      match Writes.write_of e with
+      | None -> ()
+      | Some (what, tgt) -> (
+          match Writes.root_of ~classify tgt with
+          | Writes.Id (P i) -> ignore (add_param_write f i what)
+          | Id L | Unknown -> ()
+          | Id (C id) ->
+              ignore (add_witness f { what; target = V (Ident.unique_name id, Ident.name id); via = [] })
+          | Global g -> ignore (add_witness f { what; target = G g; via = [] })));
+  (* direct fd effects *)
+  List.iter
+    (fun c ->
+      if Scan.matches_any c.cname release_prims then
+        match c.cargs with
+        | a0 :: _ -> (
+            match Writes.root_of ~classify a0 with
+            | Writes.Id (P i) -> ignore (add_release f i)
+            | _ -> ())
+        | [] -> ())
+    f.calls;
+  if f.returns_fd && List.exists (fun c -> Scan.matches_any c.cname acquire_prims) f.calls then
+    f.acquires <- true;
+  f
+
+(* One propagation sweep over [f]'s call sites; true iff the summary grew. *)
+let propagate env f =
+  let changed = ref false in
+  List.iter
+    (fun c ->
+      if not (blessed c.cname) then
+        match Callgraph.resolve env.graph ~source:f.def.source c.cpath with
+        | None -> ()
+        | Some gdef -> (
+            match Hashtbl.find_opt env.fns gdef.id with
+            | None -> ()
+            | Some g ->
+                let g_captured = g.captured
+                and g_pw = g.param_writes
+                and g_rel = g.releases
+                and g_acq = g.acquires in
+                List.iter
+                  (fun w ->
+                    match w.target with
+                    | V (uid, _) -> (
+                        match param_index f uid with
+                        | Some i -> if add_param_write f i w.what then changed := true
+                        | None ->
+                            (* bound in f: per-invocation state of f, not shared;
+                               free in f too: still captured, keep propagating *)
+                            if not (f.local_uid uid) then
+                              if add_witness f { w with via = push_via g.def.name w.via } then
+                                changed := true)
+                    | G _ -> if add_witness f { w with via = push_via g.def.name w.via } then changed := true)
+                  g_captured;
+                List.iter
+                  (fun (i, what) ->
+                    match List.nth_opt c.cargs i with
+                    | None -> ()
+                    | Some a -> (
+                        match Writes.root_of ~classify:f.classify a with
+                        | Writes.Id (P j) -> if add_param_write f j what then changed := true
+                        | Id L | Unknown -> ()
+                        | Id (C id) ->
+                            if
+                              add_witness f
+                                {
+                                  what;
+                                  target = V (Ident.unique_name id, Ident.name id);
+                                  via = [ g.def.name ];
+                                }
+                            then changed := true
+                        | Global s ->
+                            if add_witness f { what; target = G s; via = [ g.def.name ] } then
+                              changed := true))
+                  g_pw;
+                List.iter
+                  (fun i ->
+                    match List.nth_opt c.cargs i with
+                    | None -> ()
+                    | Some a -> (
+                        match Writes.root_of ~classify:f.classify a with
+                        | Writes.Id (P j) -> if add_release f j then changed := true
+                        | _ -> ()))
+                  g_rel;
+                if g_acq && f.returns_fd && not f.acquires then begin
+                  f.acquires <- true;
+                  changed := true
+                end))
+    f.calls;
+  !changed
+
+(* Tarjan over the call relation.  Components come out callees-first
+   (an SCC is emitted only once every SCC it reaches already has been),
+   which is exactly the bottom-up summary order. *)
+let sccs env roots =
+  let index = Hashtbl.create 512 in
+  let lowlink = Hashtbl.create 512 in
+  let on_stack = Hashtbl.create 512 in
+  let stack = ref [] in
+  let next = ref 0 in
+  let out = ref [] in
+  let succs f =
+    List.filter_map
+      (fun c ->
+        if blessed c.cname then None
+        else
+          match Callgraph.resolve env.graph ~source:f.def.source c.cpath with
+          | Some gdef -> Hashtbl.find_opt env.fns gdef.id
+          | None -> None)
+      f.calls
+  in
+  let rec strongconnect f =
+    let v = f.def.id in
+    Hashtbl.replace index v !next;
+    Hashtbl.replace lowlink v !next;
+    incr next;
+    stack := f :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun g ->
+        let w = g.def.id in
+        if not (Hashtbl.mem index w) then begin
+          strongconnect g;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs f);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | g :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack g.def.id;
+            if String.equal g.def.id v then g :: acc else pop (g :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun f -> if not (Hashtbl.mem index f.def.id) then strongconnect f) roots;
+  List.rev !out
+
+let analyze graph =
+  let env = { graph; fns = Hashtbl.create 512 } in
+  let defs = Callgraph.defs graph in
+  List.iter (fun d -> Hashtbl.replace env.fns d.Callgraph.id (fn_of graph d)) defs;
+  let roots = List.map (fun (d : Callgraph.def) -> Hashtbl.find env.fns d.id) defs in
+  List.iter
+    (fun comp ->
+      let again = ref true in
+      while !again do
+        again := List.fold_left (fun acc f -> propagate env f || acc) false comp
+      done)
+    (sccs env roots);
+  env
+
+let find env (def : Callgraph.def) = Hashtbl.find_opt env.fns def.id
+
+(* Resolve a path referenced from unit [source] to its summary, if the
+   target is a known def. *)
+let resolve_fn env ~source p =
+  match Callgraph.resolve env.graph ~source p with None -> None | Some d -> find env d
+
+(* Parameter indices a call to [p] (spelled [cname]) may close: release
+   primitives close their first argument, summarized callees whatever
+   their summary says. *)
+let call_releases env ~source ~cname p =
+  if Scan.matches_any cname release_prims then [ 0 ]
+  else match resolve_fn env ~source p with Some g -> g.releases | None -> []
+
+(* Does a call to [p] (spelled [cname]) acquire a raw file descriptor? *)
+let call_acquires env ~source ~cname p =
+  Scan.matches_any cname acquire_prims
+  || match resolve_fn env ~source p with Some g -> g.acquires | None -> false

@@ -1,0 +1,88 @@
+(* The write vocabulary shared by R1 (syntactic) and Summary/R2
+   (interprocedural): which applications mutate their first argument,
+   which merely project a mutable structure out of another, and how to
+   trace a write target back to the identifier that owns the storage.
+
+   Atomic.* is deliberately absent: atomics are the sanctioned way to
+   share state under the domain pool, so atomic updates never register
+   as writes. *)
+
+let ref_ops = [ ":="; "incr"; "decr" ]
+
+let struct_ops =
+  [
+    "Array.set";
+    "Array.unsafe_set";
+    "Array.fill";
+    "Array.blit";
+    "Bytes.set";
+    "Bytes.unsafe_set";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.remove";
+    "Hashtbl.reset";
+    "Hashtbl.clear";
+    "Hashtbl.filter_map_inplace";
+    "Queue.add";
+    "Queue.push";
+    "Queue.pop";
+    "Queue.take";
+    "Queue.clear";
+    "Stack.push";
+    "Stack.pop";
+    "Stack.clear";
+    "Buffer.add_string";
+    "Buffer.add_char";
+    "Buffer.add_bytes";
+    "Buffer.clear";
+    "Buffer.reset";
+  ]
+
+(* Projections through which a write target is traced to its root:
+   [(Hashtbl.find rows k).cell <- v] mutates storage owned by [rows]. *)
+let getters = [ "Array.get"; "Array.unsafe_get"; "Bytes.get"; "Hashtbl.find"; "!" ]
+
+(* Mutators whose mutated structure is the LAST argument, not the
+   first ([Hashtbl.filter_map_inplace f tbl]). *)
+let last_arg_targets = [ "Hashtbl.filter_map_inplace" ]
+
+(* [write_of e] is [Some (what, target)] when [e] performs a write:
+   [what] is display text for the kind of write, [target] the expression
+   whose root owns the mutated storage. *)
+let write_of (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_setfield (tgt, _, ld, _) ->
+      Some (Printf.sprintf "mutable field '%s' of a value" ld.Types.lbl_name, tgt)
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+      match List.filter_map (fun (_, a) -> a) args with
+      | [] -> None
+      | a0 :: _ as present -> (
+          let n = Scan.normalize_path p in
+          if List.exists (String.equal n) ref_ops then
+            Some (Printf.sprintf "ref cell (%s)" n, a0)
+          else
+            match Scan.find_target n struct_ops with
+            | Some t ->
+                let tgt =
+                  if Scan.matches_any n last_arg_targets then
+                    List.nth present (List.length present - 1)
+                  else a0
+                in
+                Some (Printf.sprintf "mutable structure (%s)" t, tgt)
+            | None -> None))
+  | _ -> None
+
+(* Who owns the written storage.  [classify] decides what a plain
+   identifier is in the caller's scope (parameter / local / captured);
+   module-level values and projection chains are resolved here. *)
+type 'a root = Id of 'a | Global of string | Unknown
+
+let rec root_of ~classify (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) -> Id (classify id)
+  | Texp_ident (p, _, _) -> Global (Scan.normalize_path p)
+  | Texp_field (e', _, _) -> root_of ~classify e'
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, (_, Some a) :: _)
+    when Scan.matches_any (Scan.normalize_path p) getters ->
+      root_of ~classify a
+  | _ -> Unknown

@@ -1,6 +1,7 @@
 module W = Rdt_check.Session.Wire
 module F = Rdt_check.Session.Frame
 module Meter = Rdt_obs.Meter
+module Io = Rdt_durable.Io
 
 type t = {
   fd : Unix.file_descr;
@@ -14,7 +15,7 @@ let connect ~socket =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX socket)
    with e ->
-     Unix.close fd;
+     Io.close_noerr fd;
      raise e);
   { fd; dec = F.decoder (); at_eof = false; closed = false }
 
@@ -23,7 +24,7 @@ let send t req =
   let len = String.length frame in
   let written = ref 0 in
   while !written < len do
-    written := !written + Unix.write_substring t.fd frame !written (len - !written)
+    written := !written + Io.send_substring t.fd frame !written (len - !written)
   done
 
 let buf = Bytes.create 65536
@@ -46,14 +47,13 @@ let read_some t ~blocking ~timeout =
     in
     if not ready then false
     else
-      match Unix.read t.fd buf 0 (Bytes.length buf) with
+      match Io.recv t.fd buf 0 (Bytes.length buf) with
       | 0 ->
           t.at_eof <- true;
           false
       | n ->
           F.feed t.dec buf ~off:0 ~len:n;
           true
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
   end
 
 let next_frame t =
@@ -100,5 +100,5 @@ let eof t = t.at_eof
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    Io.close_noerr t.fd
   end

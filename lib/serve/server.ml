@@ -6,6 +6,7 @@ module T = Rdt_obs.Trace
 module Meter = Rdt_obs.Meter
 module Tbl = Rdt_dist.Tbl
 module D = Rdt_durable.Session
+module Io = Rdt_durable.Io
 
 type config = {
   socket : string;
@@ -61,7 +62,7 @@ let max_n = 1_000_000
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+let unlink_quiet = Io.unlink_quiet
 
 let create ?(mapper = seq_mapper) ?(meter = Meter.default) ?(trace = T.null) cfg =
   if cfg.max_batch < 1 || cfg.max_pending < 1 then
@@ -82,7 +83,7 @@ let create ?(mapper = seq_mapper) ?(meter = Meter.default) ?(trace = T.null) cfg
      Unix.listen fd 64;
      Unix.set_nonblock fd
    with e ->
-     Unix.close fd;
+     Io.close_noerr fd;
      raise e);
   {
     cfg;
@@ -98,7 +99,7 @@ let create ?(mapper = seq_mapper) ?(meter = Meter.default) ?(trace = T.null) cfg
 let close_fd c =
   if not c.fd_closed then begin
     c.fd_closed <- true;
-    try Unix.close c.fd with Unix.Unix_error _ -> ()
+    Io.close_noerr c.fd
   end
 
 let detach c =
@@ -131,7 +132,7 @@ let shutdown t ~graceful =
       (fun _ st -> if graceful then S.close st.session else st.aborter ())
       t.streams;
     Hashtbl.reset t.streams;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Io.close_noerr t.listen_fd;
     if graceful then unlink_quiet t.cfg.socket
   end
 
@@ -376,7 +377,7 @@ let apply_phase t =
 let read_chunk = Bytes.create 65536
 
 let read_conn t c =
-  match Unix.read c.fd read_chunk 0 (Bytes.length read_chunk) with
+  match Io.recv c.fd read_chunk 0 (Bytes.length read_chunk) with
   | 0 ->
       c.dead <- true;
       0
@@ -406,7 +407,7 @@ let read_conn t c =
 let flush_conn c =
   let total = Buffer.length c.out in
   if total > c.out_off then begin
-    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_off (total - c.out_off) with
+    match Io.send_substring c.fd (Buffer.contents c.out) c.out_off (total - c.out_off) with
     | n ->
         c.out_off <- c.out_off + n;
         if c.out_off >= Buffer.length c.out then begin

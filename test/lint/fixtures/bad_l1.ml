@@ -1,0 +1,28 @@
+(* L1 fixture: acquired descriptors that never reach a release, a
+   return, or a store.  Acquisition goes through Rdt_durable.Io so S1
+   stays silent: each finding here is L1's alone. *)
+
+(* every occurrence is a neutral fd op: leaks on every call *)
+let leak_simple path =
+  let fd = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 16 in
+  ignore (Rdt_durable.Io.recv fd buf 0 16)
+
+let open_ro path = Rdt_durable.Io.openfile ~name:"ro" path [ Unix.O_RDONLY ] 0
+
+(* the acquire is a helper whose summary says it opens: still a leak *)
+let leak_via_helper path =
+  let fd = open_ro path in
+  let buf = Bytes.create 16 in
+  ignore (Rdt_durable.Io.recv fd buf 0 16)
+
+(* discarded on the spot, three ways *)
+let drop_ignore path = ignore (Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0)
+
+let drop_pattern path =
+  let _ = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0 in
+  ()
+
+let drop_seq path =
+  Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0;
+  ()

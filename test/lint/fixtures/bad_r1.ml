@@ -23,3 +23,34 @@ let racy_spawn () =
   let d = Domain.spawn (fun () -> incr cell) in
   Domain.join d;
   !cell
+
+let racy_queue xs =
+  let q = Queue.create () in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> Queue.add x q) xs in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun _ -> Queue.clear q) xs in
+  Queue.length q
+
+let racy_stack xs =
+  let st = Stack.create () in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun _ -> Stack.clear st) xs in
+  Stack.length st
+
+let racy_buffer xs =
+  let b = Buffer.create 8 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun _ -> Buffer.reset b) xs in
+  Buffer.length b
+
+let racy_inplace xs =
+  let tbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let _ =
+    Rdt_harness.Pool.map ~jobs:2
+      (fun _ -> Hashtbl.filter_map_inplace (fun _ v -> Some (v + 1)) tbl)
+      xs
+  in
+  Hashtbl.length tbl
+
+let racy_getter_chain xs =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.replace counts 0 (ref 0);
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> incr (Hashtbl.find counts (x mod 1))) xs in
+  !(Hashtbl.find counts 0)

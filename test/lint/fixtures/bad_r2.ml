@@ -1,0 +1,29 @@
+(* R2 fixture: the two documented R1 false negatives — a task passed as
+   a bare identifier, and mutation hidden behind a call — plus a
+   two-hop call chain.  None of these contain a write literally inside
+   the closure argument, so R1 stays silent on every one. *)
+
+let total = ref 0
+
+let bump_global x = total := !total + x
+
+(* ident-passed closure: the task is just a name *)
+let ident_task xs = Rdt_harness.Pool.map ~jobs:2 bump_global xs
+
+let bump t x = t := !t + x
+
+(* write behind a call: the task calls a helper that writes through its
+   parameter, and the actual argument is captured from outside *)
+let write_behind_call xs =
+  let acc = ref 0 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> bump acc x) xs in
+  !acc
+
+let tally = ref 0
+
+let note x = tally := !tally + x
+
+let record x = note x
+
+(* two hops down: the witness carries the via chain *)
+let via_chain xs = Rdt_harness.Pool.map ~jobs:2 record xs

@@ -1,0 +1,25 @@
+(* S1 fixture: raw Unix file and socket primitives outside the
+   sanctioned unit (lib/durable/io.ml) and outside any allowlisted
+   acquire site.  Every descriptor is closed so L1 stays silent: each
+   finding here is S1's alone. *)
+
+let copy_tail src dst =
+  let fd = Unix.openfile src [ Unix.O_RDONLY ] 0 in
+  let buf = Bytes.create 512 in
+  let n = Unix.read fd buf 0 512 in
+  let out = Unix.openfile dst [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  let _ = Unix.write out buf 0 n in
+  let _ = Unix.write_substring out "x" 0 1 in
+  Unix.fsync out;
+  Unix.ftruncate out n;
+  Unix.close fd;
+  Unix.close out;
+  Unix.rename src dst;
+  Unix.unlink src
+
+let roundtrip_socket path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let c, _ = Unix.accept fd in
+  Unix.close c;
+  Unix.close fd

@@ -1,0 +1,25 @@
+(* L1 fixture: every legitimate fate of an acquired descriptor —
+   released under Fun.protect, released by a summarized helper, stored
+   in a record, returned to the caller. *)
+
+let protected path =
+  let fd = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Rdt_durable.Io.close_noerr fd)
+    (fun () -> ignore (Rdt_durable.Io.recv fd (Bytes.create 8) 0 8))
+
+let release fd = Rdt_durable.Io.close_noerr fd
+
+let helper_released path =
+  let fd = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0 in
+  let n = Rdt_durable.Io.recv fd (Bytes.create 8) 0 8 in
+  release fd;
+  n
+
+type handle = { fd : Unix.file_descr; mutable reads : int }
+
+let stored path =
+  let fd = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0 in
+  { fd; reads = 0 }
+
+let returned path = Rdt_durable.Io.openfile ~name:"x" path [ Unix.O_RDONLY ] 0

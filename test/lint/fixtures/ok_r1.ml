@@ -15,3 +15,17 @@ let atomic_sum xs =
   let total = Atomic.make 0 in
   let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> Atomic.fetch_and_add total x) xs in
   Atomic.get total
+
+let local_queue xs =
+  Rdt_harness.Pool.map ~jobs:2
+    (fun x ->
+      let q = Queue.create () in
+      Queue.add x q;
+      Queue.clear q;
+      Queue.length q)
+    xs
+
+let read_only_chain xs =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.replace counts 0 42;
+  Rdt_harness.Pool.map ~jobs:2 (fun x -> Hashtbl.find counts (x mod 1)) xs

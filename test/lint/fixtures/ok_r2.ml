@@ -1,0 +1,20 @@
+(* R2 fixture: interprocedural shapes that are safe — a helper writing
+   through its parameter is fine when the argument is task-local, and a
+   helper accumulating through an Atomic is always fine. *)
+
+let bump t x = t := !t + x
+
+let task_local xs =
+  Rdt_harness.Pool.map ~jobs:2
+    (fun x ->
+      let acc = ref 0 in
+      bump acc x;
+      !acc)
+    xs
+
+let atomic_bump total x = Atomic.fetch_and_add total x
+
+let atomic_tasks xs =
+  let total = Atomic.make 0 in
+  let _ = Rdt_harness.Pool.map ~jobs:2 (fun x -> ignore (atomic_bump total x)) xs in
+  Atomic.get total

@@ -1,0 +1,18 @@
+(* S1 fixture: the same work as bad_s1.ml routed through Rdt_durable.Io,
+   which carries the retry/fsync/rename discipline S1 exists to
+   enforce. *)
+
+let copy_file src dst =
+  match Rdt_durable.Io.read_file ~name:"src" src with
+  | None -> ()
+  | Some data ->
+      let fd =
+        Rdt_durable.Io.openfile ~name:"dst" dst [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+      in
+      Fun.protect
+        ~finally:(fun () -> Rdt_durable.Io.close_noerr fd)
+        (fun () ->
+          Rdt_durable.Io.write_all ~name:"dst" fd (Bytes.of_string data);
+          Rdt_durable.Io.fsync ~name:"dst" fd);
+      Rdt_durable.Io.rename ~src ~dst;
+      Rdt_durable.Io.unlink_quiet src

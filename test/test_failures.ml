@@ -165,7 +165,7 @@ let test_rdt_survives_crashes_under_faults () =
 let test_deterministic_under_faults () =
   let a = CS.run (faulty_config "bhmr") in
   let b = CS.run (faulty_config "bhmr") in
-  check "same pattern" true (a.pattern = b.pattern);
+  check "same pattern" true (Rdt_pattern.Pattern.equal a.pattern b.pattern);
   check "same metrics (incl. retransmission counts)" true (a.metrics = b.metrics);
   check "same recoveries" true (a.recoveries = b.recoveries)
 

@@ -157,7 +157,7 @@ let test_replay_matrix () =
               | Error e ->
                   Alcotest.failf "%s/%s seed %d: rebuild failed: %s" pname envname seed e
               | Ok rebuilt ->
-                  if rebuilt <> r.Runtime.pattern then
+                  if not (Rdt_pattern.Pattern.equal rebuilt r.Runtime.pattern) then
                     Alcotest.failf "%s/%s seed %d: rebuilt pattern differs" pname envname seed;
                   if three_verdicts rebuilt <> three_verdicts r.Runtime.pattern then
                     Alcotest.failf "%s/%s seed %d: verdicts differ" pname envname seed)
@@ -229,7 +229,7 @@ let test_replay_crashrun () =
           match Replay.rebuild (Trace.events tr) with
           | Error e -> Alcotest.failf "%s seed %d: rebuild failed: %s" pname seed e
           | Ok rebuilt ->
-              if rebuilt <> r.CS.pattern then
+              if not (Rdt_pattern.Pattern.equal rebuilt r.CS.pattern) then
                 Alcotest.failf "%s seed %d: rebuilt surviving pattern differs" pname seed;
               check "rollbacks recorded" true
                 (List.exists (function Trace.Rollback _ -> true | _ -> false) (Trace.events tr)))

@@ -70,8 +70,8 @@ let test_environment_determinism () =
     Rdt_workloads.Registry.all
 
 let test_registry_lookup () =
-  check "find random" true (Rdt_workloads.Registry.find "random" <> None);
-  check "find nothing" true (Rdt_workloads.Registry.find "nope" = None);
+  check "find random" true (Option.is_some (Rdt_workloads.Registry.find "random"));
+  check "find nothing" true (Option.is_none (Rdt_workloads.Registry.find "nope"));
   Alcotest.(check int) "seven environments" 7 (List.length Rdt_workloads.Registry.all);
   check "names match" true
     (List.sort compare Rdt_workloads.Registry.names
